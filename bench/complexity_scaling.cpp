@@ -1,0 +1,90 @@
+// Section III-F claims the majority decomposition is O(N^4) worst case but
+// behaves close to the size of the produced functions in practice. This
+// google-benchmark binary measures maj_decompose (and its ITE/restrict
+// building blocks) against growing BDD sizes so the practical scaling curve
+// can be inspected.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "decomp/dominators.hpp"
+#include "decomp/maj_decomp.hpp"
+#include "tt/truth_table.hpp"
+
+namespace {
+
+using namespace bdsmaj;
+
+bdd::Bdd random_function(bdd::Manager& mgr, int vars, std::mt19937_64& rng) {
+    return mgr.from_truth_table(tt::TruthTable::random(vars, rng));
+}
+
+void BM_MajDecompose(benchmark::State& state) {
+    const int vars = static_cast<int>(state.range(0));
+    std::mt19937_64 rng(0xabc + static_cast<unsigned>(vars));
+    bdd::Manager mgr(vars);
+    const bdd::Bdd f = random_function(mgr, vars, rng);
+    std::size_t nodes = mgr.dag_size(f);
+    for (auto _ : state) {
+        auto d = decomp::maj_decompose(mgr, f);
+        benchmark::DoNotOptimize(d);
+    }
+    state.counters["bdd_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_MajDecompose)->DenseRange(6, 13, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_Ite(benchmark::State& state) {
+    // A rotating operand pool plus an explicit gc (which clears the
+    // computed table) keeps this measuring real traversals, not cache hits.
+    const int vars = static_cast<int>(state.range(0));
+    std::mt19937_64 rng(0xdef + static_cast<unsigned>(vars));
+    bdd::Manager mgr(vars);
+    std::vector<bdd::Bdd> pool;
+    for (int i = 0; i < 12; ++i) pool.push_back(random_function(mgr, vars, rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        mgr.gc();
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(mgr.ite(pool[i % 12], pool[(i + 1) % 12],
+                                         pool[(i + 2) % 12]));
+        ++i;
+    }
+}
+BENCHMARK(BM_Ite)->DenseRange(8, 14, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_Restrict(benchmark::State& state) {
+    const int vars = static_cast<int>(state.range(0));
+    std::mt19937_64 rng(0x123 + static_cast<unsigned>(vars));
+    bdd::Manager mgr(vars);
+    std::vector<bdd::Bdd> pool;
+    for (int i = 0; i < 12; ++i) {
+        pool.push_back(random_function(mgr, vars, rng) | mgr.var_bdd(0));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        mgr.gc();
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(mgr.restrict_to(pool[i % 12], pool[(i + 1) % 12]));
+        ++i;
+    }
+}
+BENCHMARK(BM_Restrict)->DenseRange(8, 14, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_DominatorAnalysis(benchmark::State& state) {
+    const int vars = static_cast<int>(state.range(0));
+    std::mt19937_64 rng(0x456 + static_cast<unsigned>(vars));
+    bdd::Manager mgr(vars);
+    const bdd::Bdd f = random_function(mgr, vars, rng);
+    for (auto _ : state) {
+        decomp::DominatorAnalysis analysis(mgr, f);
+        benchmark::DoNotOptimize(analysis.nodes().size());
+    }
+}
+BENCHMARK(BM_DominatorAnalysis)->DenseRange(8, 14, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Regenerates Fig. 1 and the Section III worked example: the BDD of
+// F = ab + bc + ac, its non-trivial m-dominator, the (β) construction
+// seeds H = F|Fa, W = F|!Fa, and the (γ) balancing to Maj(a, b, c).
+// Prints the DOT rendering of the BDD (pipe into `dot -Tpng` to draw).
+
+#include <cstdio>
+
+#include "decomp/dominators.hpp"
+#include "decomp/maj_decomp.hpp"
+
+int main() {
+    using namespace bdsmaj;
+    bdd::Manager mgr(3);
+    const bdd::Bdd a = mgr.var_bdd(0);
+    const bdd::Bdd b = mgr.var_bdd(1);
+    const bdd::Bdd c = mgr.var_bdd(2);
+    const bdd::Bdd f = mgr.maj(a, b, c);
+
+    std::printf("Fig. 1: F = ab + bc + ac, |BDD| = %zu internal nodes\n",
+                mgr.dag_size(f));
+    const bdd::Bdd roots[] = {f};
+    const std::string names[] = {std::string("F")};
+    std::printf("%s\n", mgr.to_dot(roots, names).c_str());
+
+    decomp::DominatorAnalysis analysis(mgr, f);
+    std::printf("simple dominators present: %s (paper: none for majority)\n",
+                analysis.has_simple_dominator() ? "yes" : "no");
+    const auto mdoms = analysis.m_dominators(8);
+    std::printf("non-trivial m-dominators found: %zu\n", mdoms.size());
+    if (mdoms.empty()) return 1;
+
+    const bdd::Bdd fa = mgr.node_function(mdoms.front());
+    std::printf("Fa = function rooted at the m-dominator (|Fa| = %zu)\n",
+                mgr.dag_size(fa));
+    std::printf("H  = F|Fa   -> |H| = %zu (paper: b+c, 2 nodes)\n",
+                mgr.dag_size(mgr.restrict_to(f, fa)));
+    std::printf("W  = F|!Fa  -> |W| = %zu (paper: bc, 2 nodes)\n",
+                mgr.dag_size(mgr.restrict_to(f, !fa)));
+
+    decomp::MajDecomposition d = decomp::construct_majority(mgr, f, fa);
+    std::printf("(β) construction: |Fa|=%zu |Fb|=%zu |Fc|=%zu, Maj valid: %s\n",
+                d.size_fa(mgr), d.size_fb(mgr), d.size_fc(mgr),
+                mgr.maj(d.fa, d.fb, d.fc) == f ? "yes" : "NO");
+    int iterations = 0;
+    while (decomp::balance_majority_once(mgr, f, d)) ++iterations;
+    std::printf("(γ) balancing: %d improving sweeps -> |Fa|=%zu |Fb|=%zu |Fc|=%zu\n",
+                iterations, d.size_fa(mgr), d.size_fb(mgr), d.size_fc(mgr));
+    const bool literals = d.total_size(mgr) == 3;
+    std::printf("final decomposition is Maj over three literals: %s "
+                "(paper: Maj(a, b, c))\n",
+                literals ? "yes" : "NO");
+    return literals ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Datapath scenario: synthesize a 16-bit carry-lookahead adder with all
+// four Table II flows and compare area / gate count / delay, showing why
+// majority decomposition matters on carry-dominated arithmetic.
+
+#include <cstdio>
+
+#include "benchgen/arith.hpp"
+#include "flows/flows.hpp"
+#include "network/simulate.hpp"
+
+int main() {
+    using namespace bdsmaj;
+    const net::Network input = benchgen::make_cla_adder(16);
+    std::printf("circuit: 16-bit carry-lookahead adder (%d logic nodes)\n\n",
+                input.stats().total());
+    std::printf("%-8s | %9s %6s %8s | %4s %4s %5s | %s\n", "flow", "area um2",
+                "cells", "delay ns", "MAJ", "XOR*", "INV", "equivalent");
+    std::printf("%s\n", std::string(72, '-').c_str());
+    for (const flows::SynthesisResult& r : flows::run_all_flows(input)) {
+        const net::NetworkStats s = r.mapped.netlist.stats();
+        const net::EquivalenceResult eq =
+            net::check_equivalent(input, r.mapped.netlist);
+        std::printf("%-8s | %9.2f %6d %8.3f | %4d %4d %5d | %s\n",
+                    r.flow_name.c_str(), r.mapped.area_um2, r.mapped.gate_count,
+                    r.mapped.delay_ns, s.maj_nodes, s.xor_nodes + s.xnor_nodes,
+                    s.not_nodes, eq.equivalent ? "yes" : "NO");
+    }
+    std::printf("\nXOR* counts both XOR2 and XNOR2 cells.\n");
+    std::printf("The BDS-MAJ row keeps the carry chain as MAJ3 cells; the\n"
+                "majority-blind flows re-express it in NAND/NOR logic.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "aig/opt.hpp"
+
+namespace bdsmaj::aig {
+
+namespace {
+
+/// Depth of each node in the NEW aig, maintained incrementally.
+class LevelTracker {
+public:
+    int of(const Aig& aig, Lit l) {
+        const NodeId n = lit_node(l);
+        if (!aig.is_and(n)) return 0;
+        if (levels_.size() <= n) levels_.resize(n + 1, -1);
+        if (levels_[n] < 0) {
+            levels_[n] = 1 + std::max(of(aig, aig.fanin0(n)), of(aig, aig.fanin1(n)));
+        }
+        return levels_[n];
+    }
+
+private:
+    std::vector<int> levels_;
+};
+
+class Balancer {
+public:
+    explicit Balancer(const Aig& in) : in_(in), fanout_(in.fanout_counts()) {}
+
+    Aig run() {
+        for (std::size_t i = 0; i < in_.input_count(); ++i) {
+            input_map_.push_back(out_.add_input());
+        }
+        for (const Lit po : in_.outputs()) out_.add_output(copy(po));
+        return std::move(out_);
+    }
+
+private:
+    Lit copy(Lit l) {
+        const NodeId n = lit_node(l);
+        const bool c = lit_complemented(l);
+        if (n == kConstNode) return c ? kLitTrue : kLitFalse;
+        if (in_.is_input(n)) {
+            const auto pos = input_position(n);
+            return c ? lit_not(input_map_[pos]) : input_map_[pos];
+        }
+        const auto it = memo_.find(n);
+        if (it != memo_.end()) return c ? lit_not(it->second) : it->second;
+
+        // Collect the maximal single-fanout AND tree rooted at n; shared or
+        // complemented branches become leaves (preserving their sharing).
+        std::vector<Lit> leaves;
+        std::vector<Lit> stack{in_.fanin0(n), in_.fanin1(n)};
+        while (!stack.empty()) {
+            const Lit branch = stack.back();
+            stack.pop_back();
+            const NodeId bn = lit_node(branch);
+            if (!lit_complemented(branch) && in_.is_and(bn) && fanout_[bn] == 1) {
+                stack.push_back(in_.fanin0(bn));
+                stack.push_back(in_.fanin1(bn));
+            } else {
+                leaves.push_back(branch);
+            }
+        }
+        // Copy leaves, then combine the two shallowest first (minimizes the
+        // tree depth like Huffman coding minimizes weighted depth).
+        std::vector<Lit> new_leaves;
+        new_leaves.reserve(leaves.size());
+        for (const Lit leaf : leaves) new_leaves.push_back(copy(leaf));
+        const auto deeper = [&](Lit a, Lit b) {
+            return levels_.of(out_, a) > levels_.of(out_, b);
+        };
+        std::priority_queue<Lit, std::vector<Lit>, decltype(deeper)> heap(deeper,
+                                                                          new_leaves);
+        while (heap.size() > 1) {
+            const Lit a = heap.top();
+            heap.pop();
+            const Lit b = heap.top();
+            heap.pop();
+            heap.push(out_.land(a, b));
+        }
+        const Lit result = heap.top();
+        memo_.emplace(n, result);
+        return c ? lit_not(result) : result;
+    }
+
+    std::size_t input_position(NodeId n) const {
+        const auto& ins = in_.inputs();
+        return static_cast<std::size_t>(
+            std::find(ins.begin(), ins.end(), n) - ins.begin());
+    }
+
+    const Aig& in_;
+    std::vector<std::uint32_t> fanout_;
+    Aig out_;
+    std::vector<Lit> input_map_;
+    std::unordered_map<NodeId, Lit> memo_;
+    LevelTracker levels_;
+};
+
+}  // namespace
+
+Aig balance(const Aig& in) { return Balancer(in).run(); }
+
+}  // namespace bdsmaj::aig

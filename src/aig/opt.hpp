@@ -1,0 +1,31 @@
+#pragma once
+// AIG optimization passes composing the "resyn2"-style script the paper
+// uses as its ABC configuration (SV-B1: "ABC resyn2 optimization script").
+//
+//  * balance  — delay-oriented AND-tree rebalancing (Huffman combining by
+//               level), out of place;
+//  * rewrite  — cut-based resynthesis: per node, grow small cuts, rebuild
+//               the cut function from its ISOP factored form, and keep the
+//               variant that creates fewer nodes than re-copying the
+//               node's cut-local MFFC (the ABC gain test);
+//  * resyn2   — the alternation of the two at cut sizes 4 and 8
+//               (the larger cut plays the role of ABC's refactor).
+//
+// All passes are out-of-place: they produce a new AIG and never mutate the
+// input, so every intermediate can be equivalence-checked.
+
+#include "aig/aig.hpp"
+
+namespace bdsmaj::aig {
+
+struct RewriteParams {
+    int cut_size = 4;       ///< K of the grown cuts
+    int cut_variants = 3;   ///< greedy growth strategies per node
+    bool zero_gain = false; ///< accept equal-cost replacements (perturbation)
+};
+
+[[nodiscard]] Aig balance(const Aig& in);
+[[nodiscard]] Aig rewrite(const Aig& in, const RewriteParams& params = {});
+[[nodiscard]] Aig resyn2(const Aig& in);
+
+}  // namespace bdsmaj::aig

@@ -1,0 +1,258 @@
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aig/opt.hpp"
+#include "network/factor.hpp"
+
+namespace bdsmaj::aig {
+
+namespace {
+
+/// Out-of-place cut rewriting. For every AND node of the input we choose
+/// between (a) structural re-copy of its fanins plus one AND, and (b)
+/// resynthesis of a grown cut's function from its ISOP factored form over
+/// the already-copied cut leaves. Option (b) wins when it creates fewer
+/// nodes than the node plus its cut-local MFFC would cost — the classical
+/// rewriting gain test, evaluated by trial construction with rollback.
+class Rewriter {
+public:
+    Rewriter(const Aig& in, const RewriteParams& params)
+        : in_(in), params_(params), fanout_(in.fanout_counts()) {}
+
+    Aig run() {
+        for (std::size_t i = 0; i < in_.input_count(); ++i) {
+            input_map_.push_back(out_.add_input());
+        }
+        input_pos_.reserve(in_.inputs().size());
+        for (std::size_t i = 0; i < in_.inputs().size(); ++i) {
+            input_pos_.emplace(in_.inputs()[i], i);
+        }
+        for (const Lit po : in_.outputs()) out_.add_output(copy(po));
+        return std::move(out_);
+    }
+
+private:
+    // ---- cut growing -------------------------------------------------------
+
+    /// Grow one cut from node n by repeatedly expanding an AND leaf, with a
+    /// strategy-dependent choice of which leaf to expand.
+    std::vector<NodeId> grow_cut(NodeId n, int strategy) const {
+        std::vector<NodeId> cut{lit_node(in_.fanin0(n)), lit_node(in_.fanin1(n))};
+        std::sort(cut.begin(), cut.end());
+        cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
+        std::vector<NodeId> frozen;
+        while (true) {
+            // Expandable leaves are AND nodes not yet frozen.
+            int pick = -1;
+            for (std::size_t i = 0; i < cut.size(); ++i) {
+                const std::size_t probe =
+                    (i + static_cast<std::size_t>(strategy)) % cut.size();
+                if (in_.is_and(cut[probe]) &&
+                    std::find(frozen.begin(), frozen.end(), cut[probe]) == frozen.end()) {
+                    pick = static_cast<int>(probe);
+                    break;
+                }
+            }
+            if (pick < 0) break;
+            const NodeId leaf = cut[static_cast<std::size_t>(pick)];
+            std::vector<NodeId> next = cut;
+            next.erase(next.begin() + pick);
+            for (const Lit f : {in_.fanin0(leaf), in_.fanin1(leaf)}) {
+                const NodeId fn = lit_node(f);
+                if (fn != kConstNode &&
+                    std::find(next.begin(), next.end(), fn) == next.end()) {
+                    next.push_back(fn);
+                }
+            }
+            if (next.size() > static_cast<std::size_t>(params_.cut_size)) {
+                frozen.push_back(leaf);
+                continue;
+            }
+            std::sort(next.begin(), next.end());
+            cut = std::move(next);
+        }
+        return cut;
+    }
+
+    /// Internal cone nodes between n (inclusive) and the cut leaves.
+    std::vector<NodeId> cone_of(NodeId n, const std::vector<NodeId>& cut) const {
+        std::unordered_set<NodeId> leaf_set(cut.begin(), cut.end());
+        std::unordered_set<NodeId> seen{n};
+        std::vector<NodeId> stack{n};
+        std::vector<NodeId> cone;
+        while (!stack.empty()) {
+            const NodeId v = stack.back();
+            stack.pop_back();
+            cone.push_back(v);
+            for (const Lit f : {in_.fanin0(v), in_.fanin1(v)}) {
+                const NodeId fn = lit_node(f);
+                if (fn == kConstNode || leaf_set.contains(fn) || seen.contains(fn)) {
+                    continue;
+                }
+                seen.insert(fn);
+                stack.push_back(fn);
+            }
+        }
+        std::sort(cone.begin(), cone.end());  // ascending = topological
+        return cone;
+    }
+
+    /// Number of cone nodes that die when n is replaced: nodes all of whose
+    /// fanouts lie inside the removable set (seeded by n itself).
+    int mffc_size(NodeId n, const std::vector<NodeId>& cone) const {
+        std::unordered_set<NodeId> removable{n};
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const NodeId v : cone) {
+                if (removable.contains(v)) continue;
+                // v is removable if every fanout reference comes from
+                // removable nodes. Approximate with counts: all fanouts of v
+                // must be cone members that are removable and account for
+                // the full fanout count.
+                std::uint32_t refs_from_removable = 0;
+                for (const NodeId u : cone) {
+                    if (!removable.contains(u)) continue;
+                    refs_from_removable +=
+                        static_cast<std::uint32_t>(lit_node(in_.fanin0(u)) == v) +
+                        static_cast<std::uint32_t>(lit_node(in_.fanin1(u)) == v);
+                }
+                if (refs_from_removable == fanout_[v] && fanout_[v] > 0) {
+                    removable.insert(v);
+                    changed = true;
+                }
+            }
+        }
+        return static_cast<int>(removable.size());
+    }
+
+    /// Truth table of n over the ordered cut leaves.
+    tt::TruthTable cut_function(NodeId n, const std::vector<NodeId>& cut,
+                                const std::vector<NodeId>& cone) const {
+        const int k = static_cast<int>(cut.size());
+        std::unordered_map<NodeId, tt::TruthTable> value;
+        for (int i = 0; i < k; ++i) value.emplace(cut[static_cast<std::size_t>(i)], tt::TruthTable::var(k, i));
+        const auto eval = [&](Lit l) {
+            const tt::TruthTable& t = value.at(lit_node(l));
+            return lit_complemented(l) ? ~t : t;
+        };
+        for (const NodeId v : cone) {
+            if (value.contains(v)) continue;
+            value.emplace(v, eval(in_.fanin0(v)) & eval(in_.fanin1(v)));
+        }
+        return value.at(n);
+    }
+
+    /// Build the ISOP factored form of `function` over new-AIG leaf
+    /// literals; returns the literal computing it. Datapath circuits repeat
+    /// the same cut functions (full adders, carries) thousands of times, so
+    /// covers are cached by function.
+    Lit build_factored(const tt::TruthTable& function, const std::vector<Lit>& leaves) {
+        std::string key = function.to_hex();
+        key += ':';
+        key += std::to_string(function.num_vars());
+        auto [cache_it, fresh] = isop_cache_.try_emplace(std::move(key));
+        if (fresh) cache_it->second = net::Sop::isop(function);
+        const net::Sop& cover = cache_it->second;
+        return net::detail::factor_generic(
+            cover.cubes(),
+            [&](std::size_t pos, bool positive) {
+                return positive ? leaves[pos] : lit_not(leaves[pos]);
+            },
+            [&](Lit a, Lit b) { return out_.land(a, b); },
+            [&](Lit a, Lit b) { return out_.lor(a, b); },
+            [](bool value) { return value ? kLitTrue : kLitFalse; });
+    }
+
+    // ---- main copy recursion ----------------------------------------------
+
+    Lit copy(Lit l) {
+        const NodeId n = lit_node(l);
+        const bool c = lit_complemented(l);
+        if (n == kConstNode) return c ? kLitTrue : kLitFalse;
+        if (in_.is_input(n)) {
+            const Lit mapped = input_map_[input_pos_.at(n)];
+            return c ? lit_not(mapped) : mapped;
+        }
+        if (const auto it = memo_.find(n); it != memo_.end()) {
+            return c ? lit_not(it->second) : it->second;
+        }
+
+        int best_cost = 0;
+        bool have_best = false;
+        tt::TruthTable best_fn;
+        std::vector<Lit> best_leaves;
+
+        for (int strategy = 0; strategy < params_.cut_variants; ++strategy) {
+            const std::vector<NodeId> cut = grow_cut(n, strategy);
+            if (cut.size() < 2) continue;
+            const std::vector<NodeId> cone = cone_of(n, cut);
+            const int budget = mffc_size(n, cone);
+            // Copy the leaves (permanent: they are almost always needed).
+            std::vector<Lit> leaves;
+            leaves.reserve(cut.size());
+            for (const NodeId leaf : cut) leaves.push_back(copy(make_lit(leaf, false)));
+            const tt::TruthTable fn = cut_function(n, cut, cone);
+            // Trial build with rollback.
+            const std::size_t marked = out_.mark();
+            (void)build_factored(fn, leaves);
+            const int created = static_cast<int>(out_.mark() - marked);
+            const bool acceptable =
+                params_.zero_gain ? created <= budget : created < budget;
+            if (acceptable && (!have_best || created < best_cost)) {
+                have_best = true;
+                best_cost = created;
+                best_fn = fn;
+                best_leaves = leaves;
+            }
+            out_.truncate(marked);  // candidates are rebuilt at commit time
+        }
+
+        Lit result;
+        if (have_best) {
+            result = build_factored(best_fn, best_leaves);
+        } else {
+            const Lit f0 = copy(in_.fanin0(n));
+            const Lit f1 = copy(in_.fanin1(n));
+            result = out_.land(f0, f1);
+        }
+        memo_.emplace(n, result);
+        return c ? lit_not(result) : result;
+    }
+
+    const Aig& in_;
+    RewriteParams params_;
+    std::vector<std::uint32_t> fanout_;
+    Aig out_;
+    std::vector<Lit> input_map_;
+    std::unordered_map<NodeId, std::size_t> input_pos_;
+    std::unordered_map<NodeId, Lit> memo_;
+    std::unordered_map<std::string, net::Sop> isop_cache_;
+};
+
+}  // namespace
+
+Aig rewrite(const Aig& in, const RewriteParams& params) {
+    Aig out = Rewriter(in, params).run();
+    // MFFC budgets are estimates: a replacement can keep its cone alive
+    // through other fanouts. Guarantee monotonicity by falling back to the
+    // input when the reachable size grew.
+    if (out.and_count() > in.and_count()) return in;
+    return out;
+}
+
+Aig resyn2(const Aig& in) {
+    // balance; rewrite; refactor(=rewrite@8); balance; rewrite -z; balance —
+    // the shape of ABC's resyn2 with our pass inventory.
+    Aig a = balance(in);
+    a = rewrite(a, RewriteParams{4, 3, false});
+    a = rewrite(a, RewriteParams{8, 3, false});
+    a = balance(a);
+    a = rewrite(a, RewriteParams{4, 3, true});
+    Aig b = rewrite(a, RewriteParams{4, 3, false});
+    if (b.and_count() > a.and_count()) b = std::move(a);
+    return balance(b);
+}
+
+}  // namespace bdsmaj::aig

@@ -1,0 +1,264 @@
+#pragma once
+// Reduced Ordered Binary Decision Diagram package with complement edges.
+//
+// The package follows the classical Brace-Rudell-Bryant construction
+// [Efficient implementation of a BDD package, DAC'90], which is the design
+// the paper assumes of its underlying BDD substrate:
+//   * one node store with a unique table per variable level, so that each
+//     (level, then, else) triple exists at most once -> canonicity, and
+//     functional equivalence is pointer equality;
+//   * complement attributes on edges, restricted to else-edges ("only
+//     0-edges can be complemented", paper SII-B), halving node count;
+//   * a computed table (operation cache) for ITE and the generalized
+//     cofactors;
+//   * reference counting with deferred garbage collection;
+//   * dynamic variable reordering by Rudell sifting, built on an in-place
+//     adjacent-level swap that keeps all outstanding handles valid.
+//
+// Public use goes through the RAII `Bdd` handle. The raw `Edge` layer
+// (node indices with a complement bit) is deliberately exposed as an
+// expert API because the decomposition engine must walk BDD structure
+// (dominator search is defined on nodes and incoming edges).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace bdsmaj::bdd {
+
+/// A directed edge: node index shifted left once, complement bit in bit 0.
+using Edge = std::uint32_t;
+using NodeIndex = std::uint32_t;
+
+constexpr NodeIndex kTerminalIndex = 0;
+constexpr Edge kEdgeOne = 0;   // terminal, regular
+constexpr Edge kEdgeZero = 1;  // terminal, complemented
+constexpr Edge kEdgeInvalid = 0xffffffffu;
+/// Level of the terminal node; larger than any variable level.
+constexpr std::uint32_t kTerminalLevel = 0x7fffffffu;
+
+[[nodiscard]] constexpr NodeIndex edge_index(Edge e) noexcept { return e >> 1; }
+[[nodiscard]] constexpr bool edge_complemented(Edge e) noexcept { return (e & 1u) != 0; }
+[[nodiscard]] constexpr Edge make_edge(NodeIndex i, bool complement) noexcept {
+    return (i << 1) | static_cast<Edge>(complement);
+}
+[[nodiscard]] constexpr Edge edge_not(Edge e) noexcept { return e ^ 1u; }
+[[nodiscard]] constexpr Edge edge_regular(Edge e) noexcept { return e & ~Edge{1}; }
+[[nodiscard]] constexpr bool edge_is_constant(Edge e) noexcept {
+    return edge_index(e) == kTerminalIndex;
+}
+
+class Manager;
+
+/// RAII reference to a BDD function. Copying/destroying maintains the node
+/// reference count in the owning Manager. Equality is structural equality
+/// of edges, which by canonicity is functional equality.
+class Bdd {
+public:
+    Bdd() = default;
+    Bdd(const Bdd& o);
+    Bdd(Bdd&& o) noexcept;
+    Bdd& operator=(const Bdd& o);
+    Bdd& operator=(Bdd&& o) noexcept;
+    ~Bdd();
+
+    [[nodiscard]] bool valid() const noexcept { return mgr_ != nullptr; }
+    [[nodiscard]] Manager* manager() const noexcept { return mgr_; }
+    [[nodiscard]] Edge edge() const noexcept { return edge_; }
+
+    [[nodiscard]] bool is_one() const noexcept { return valid() && edge_ == kEdgeOne; }
+    [[nodiscard]] bool is_zero() const noexcept { return valid() && edge_ == kEdgeZero; }
+    [[nodiscard]] bool is_constant() const noexcept {
+        return valid() && edge_is_constant(edge_);
+    }
+
+    /// Complemented copy; O(1) thanks to complement edges.
+    [[nodiscard]] Bdd operator!() const;
+    [[nodiscard]] Bdd operator&(const Bdd& o) const;
+    [[nodiscard]] Bdd operator|(const Bdd& o) const;
+    [[nodiscard]] Bdd operator^(const Bdd& o) const;
+
+    friend bool operator==(const Bdd& a, const Bdd& b) noexcept {
+        return a.mgr_ == b.mgr_ && a.edge_ == b.edge_;
+    }
+
+private:
+    friend class Manager;
+    Bdd(Manager* mgr, Edge edge);  // takes a fresh reference
+
+    Manager* mgr_ = nullptr;
+    Edge edge_ = kEdgeInvalid;
+};
+
+/// Tuning knobs for the manager.
+struct ManagerParams {
+    std::size_t cache_size_log2 = 16;   ///< computed-table entries = 2^k
+    std::size_t gc_dead_threshold = 1u << 14;  ///< auto-GC when this many dead
+    double sift_max_growth = 1.25;      ///< abort a sift direction beyond this
+    int sift_max_vars = 1000;           ///< max variables sifted per call
+};
+
+class Manager {
+public:
+    explicit Manager(int num_vars = 0, ManagerParams params = {});
+    Manager(const Manager&) = delete;
+    Manager& operator=(const Manager&) = delete;
+    ~Manager();
+
+    // ---- Variables -------------------------------------------------------
+    [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(var_to_level_.size()); }
+    /// Create a new variable at the bottom of the current order.
+    int new_var();
+    [[nodiscard]] int level_of_var(int var) const { return static_cast<int>(var_to_level_[static_cast<std::size_t>(var)]); }
+    [[nodiscard]] int var_at_level(int level) const { return static_cast<int>(level_to_var_[static_cast<std::size_t>(level)]); }
+    /// Current variable order, top to bottom.
+    [[nodiscard]] std::vector<int> current_order() const;
+
+    // ---- Constants and literals -----------------------------------------
+    [[nodiscard]] Bdd one();
+    [[nodiscard]] Bdd zero();
+    [[nodiscard]] Bdd var_bdd(int var);
+    [[nodiscard]] Bdd nvar_bdd(int var);
+    [[nodiscard]] Bdd constant(bool value) { return value ? one() : zero(); }
+
+    // ---- Core operations -------------------------------------------------
+    [[nodiscard]] Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+    [[nodiscard]] Bdd apply_and(const Bdd& f, const Bdd& g);
+    [[nodiscard]] Bdd apply_or(const Bdd& f, const Bdd& g);
+    [[nodiscard]] Bdd apply_xor(const Bdd& f, const Bdd& g);
+    [[nodiscard]] Bdd apply_xnor(const Bdd& f, const Bdd& g);
+    [[nodiscard]] Bdd maj(const Bdd& a, const Bdd& b, const Bdd& c);
+
+    /// Shannon cofactor with respect to a single variable.
+    [[nodiscard]] Bdd cofactor(const Bdd& f, int var, bool value);
+    /// Existential / universal quantification of one variable.
+    [[nodiscard]] Bdd exists(const Bdd& f, int var);
+    [[nodiscard]] Bdd forall(const Bdd& f, int var);
+
+    /// Coudert-Berthet-Madre `constrain` generalized cofactor F|c.
+    [[nodiscard]] Bdd constrain(const Bdd& f, const Bdd& c);
+    /// Coudert-Madre `restrict` generalized cofactor (support-reducing).
+    [[nodiscard]] Bdd restrict_to(const Bdd& f, const Bdd& c);
+
+    /// Function with the sub-BDD rooted at (regular) node `v` replaced by a
+    /// constant; the redirection used by dominator-based decomposition.
+    [[nodiscard]] Bdd replace_node_with_const(const Bdd& f, NodeIndex v, bool value);
+    /// Function of the node itself (regular edge), as a handle.
+    [[nodiscard]] Bdd node_function(NodeIndex v);
+
+    // ---- Analysis ---------------------------------------------------------
+    /// Number of internal nodes in the DAG of f (complement edges ignored).
+    [[nodiscard]] std::size_t dag_size(const Bdd& f);
+    /// DAG size of the union of several functions (shared nodes counted once).
+    [[nodiscard]] std::size_t dag_size(std::span<const Bdd> fs);
+    [[nodiscard]] std::vector<int> support_vars(const Bdd& f);
+    /// Fraction of satisfying minterms over all num_vars() variables.
+    [[nodiscard]] double sat_fraction(const Bdd& f);
+    [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& values_by_var);
+    /// Visit each internal node of f's DAG once (by regular node index).
+    void visit_nodes(const Bdd& f, const std::function<void(NodeIndex)>& fn);
+
+    // ---- Conversion (test oracle bridge) ----------------------------------
+    [[nodiscard]] tt::TruthTable to_truth_table(const Bdd& f, int num_tt_vars);
+    [[nodiscard]] Bdd from_truth_table(const tt::TruthTable& tt);
+
+    // ---- Structure access (expert API) -------------------------------------
+    [[nodiscard]] Bdd from_edge(Edge e);
+    [[nodiscard]] std::uint32_t edge_level(Edge e) const;
+    [[nodiscard]] int edge_top_var(Edge e) const;
+    /// Then-child of the node under e, with e's complement bit applied.
+    [[nodiscard]] Edge edge_then(Edge e) const;
+    /// Else-child of the node under e, with e's complement bit applied.
+    [[nodiscard]] Edge edge_else(Edge e) const;
+
+    // ---- Maintenance -------------------------------------------------------
+    /// Reclaim all dead nodes. Invalidates nothing visible: handles keep
+    /// their nodes alive.
+    void gc();
+    /// Rudell sifting over all variables; keeps every handle valid.
+    void sift();
+    /// Swap the variables at `level` and `level+1` (exposed for testing).
+    void swap_adjacent_levels(int level);
+    [[nodiscard]] std::size_t live_node_count() const noexcept { return live_nodes_; }
+    [[nodiscard]] std::size_t peak_node_count() const noexcept { return peak_nodes_; }
+    /// DOT rendering of one or more roots, for documentation/debugging.
+    [[nodiscard]] std::string to_dot(std::span<const Bdd> roots,
+                                     std::span<const std::string> names = {});
+
+private:
+    friend class Bdd;
+
+    struct Node {
+        std::uint32_t level = kTerminalLevel;
+        Edge hi = kEdgeInvalid;  // then-edge; always regular
+        Edge lo = kEdgeInvalid;  // else-edge; may be complemented
+        std::uint32_t next = kNil;  // unique-table chain / free list
+        std::uint32_t ref = 0;
+    };
+
+    struct LevelTable {
+        std::vector<std::uint32_t> buckets;  // heads of chains, kNil = empty
+        std::uint32_t entries = 0;
+    };
+
+    enum class CacheOp : std::uint8_t { kIte = 1, kConstrain, kRestrict, kReplace };
+
+    struct CacheEntry {
+        Edge f = kEdgeInvalid, g = kEdgeInvalid, h = kEdgeInvalid;
+        Edge result = kEdgeInvalid;
+        CacheOp op{};
+    };
+
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    // Reference counting.
+    void inc_ref(Edge e);
+    void dec_ref(Edge e);
+
+    // Node construction (normalizes complement attribute; hash-consed).
+    Edge make_node(std::uint32_t level, Edge hi, Edge lo);
+    std::uint32_t alloc_slot();
+    void table_insert(std::uint32_t level, NodeIndex idx);
+    void table_remove(std::uint32_t level, NodeIndex idx);
+    void maybe_grow_table(LevelTable& table);
+    [[nodiscard]] std::size_t bucket_of(const LevelTable& table, Edge hi, Edge lo) const;
+
+    // Computed table.
+    [[nodiscard]] bool cache_lookup(CacheOp op, Edge f, Edge g, Edge h, Edge* out) const;
+    void cache_insert(CacheOp op, Edge f, Edge g, Edge h, Edge result);
+    void cache_clear();
+
+    // Recursive cores (no GC may run while these are on the stack).
+    Edge ite_rec(Edge f, Edge g, Edge h);
+    Edge constrain_rec(Edge f, Edge c);
+    Edge restrict_rec(Edge f, Edge c);
+    Edge replace_rec(Edge f, NodeIndex v, Edge replacement,
+                     std::vector<Edge>& memo_reg, std::vector<Edge>& memo_comp,
+                     std::vector<NodeIndex>& touched);
+    void cofactors_at(Edge e, std::uint32_t level, Edge* hi, Edge* lo) const;
+
+    void auto_gc_if_needed();
+
+    // Sifting internals.
+    std::size_t swap_levels_internal(std::uint32_t upper);
+    void sift_var_to(int var, int target_level);
+
+    ManagerParams params_;
+    std::vector<Node> nodes_;
+    std::vector<LevelTable> tables_;        // one per level
+    std::vector<std::uint32_t> level_live_; // live nodes per level
+    std::vector<std::uint32_t> var_to_level_;
+    std::vector<std::uint32_t> level_to_var_;
+    std::vector<CacheEntry> cache_;
+    std::uint32_t free_list_ = kNil;
+    std::size_t live_nodes_ = 0;   // internal nodes with ref > 0
+    std::size_t dead_nodes_ = 0;   // internal nodes with ref == 0, still tabled
+    std::size_t peak_nodes_ = 0;
+    int op_depth_ = 0;  // >0 while a recursive core is running (blocks GC)
+};
+
+}  // namespace bdsmaj::bdd

@@ -1,0 +1,47 @@
+#include <sstream>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace bdsmaj::bdd {
+
+// DOT rendering in the style of Fig. 1 of the paper: solid then-edges,
+// dashed else-edges, dotted else-edges when complemented; one rank per
+// variable level.
+std::string Manager::to_dot(std::span<const Bdd> roots,
+                            std::span<const std::string> names) {
+    std::ostringstream os;
+    os << "digraph bdd {\n  rankdir = TB;\n";
+    std::unordered_set<NodeIndex> seen;
+    std::vector<NodeIndex> stack;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+        const Edge e = roots[i].edge();
+        const std::string name =
+            i < names.size() ? names[i] : "f" + std::to_string(i);
+        os << "  \"" << name << "\" [shape=plaintext];\n";
+        os << "  \"" << name << "\" -> n" << edge_index(e)
+           << (edge_complemented(e) ? " [style=dotted]" : "") << ";\n";
+        const NodeIndex idx = edge_index(e);
+        if (idx != kTerminalIndex && seen.insert(idx).second) stack.push_back(idx);
+    }
+    os << "  n" << kTerminalIndex << " [label=\"1\", shape=box];\n";
+    while (!stack.empty()) {
+        const NodeIndex idx = stack.back();
+        stack.pop_back();
+        const Node& n = nodes_[idx];
+        os << "  n" << idx << " [label=\"x"
+           << level_to_var_[n.level] << "\", shape=circle];\n";
+        os << "  n" << idx << " -> n" << edge_index(n.hi) << " [style=solid];\n";
+        os << "  n" << idx << " -> n" << edge_index(n.lo)
+           << (edge_complemented(n.lo) ? " [style=dotted]" : " [style=dashed]")
+           << ";\n";
+        for (const Edge child : {n.hi, n.lo}) {
+            const NodeIndex ci = edge_index(child);
+            if (ci != kTerminalIndex && seen.insert(ci).second) stack.push_back(ci);
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace bdsmaj::bdd

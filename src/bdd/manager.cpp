@@ -1,0 +1,333 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bdsmaj::bdd {
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* mgr, Edge edge) : mgr_(mgr), edge_(edge) {
+    // Reference already taken by the Manager factory that produced us.
+}
+
+Bdd::Bdd(const Bdd& o) : mgr_(o.mgr_), edge_(o.edge_) {
+    if (mgr_ != nullptr) mgr_->inc_ref(edge_);
+}
+
+Bdd::Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), edge_(o.edge_) {
+    o.mgr_ = nullptr;
+    o.edge_ = kEdgeInvalid;
+}
+
+Bdd& Bdd::operator=(const Bdd& o) {
+    if (this == &o) return *this;
+    if (o.mgr_ != nullptr) o.mgr_->inc_ref(o.edge_);
+    if (mgr_ != nullptr) mgr_->dec_ref(edge_);
+    mgr_ = o.mgr_;
+    edge_ = o.edge_;
+    return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& o) noexcept {
+    if (this == &o) return *this;
+    if (mgr_ != nullptr) mgr_->dec_ref(edge_);
+    mgr_ = o.mgr_;
+    edge_ = o.edge_;
+    o.mgr_ = nullptr;
+    o.edge_ = kEdgeInvalid;
+    return *this;
+}
+
+Bdd::~Bdd() {
+    if (mgr_ != nullptr) mgr_->dec_ref(edge_);
+}
+
+Bdd Bdd::operator!() const {
+    assert(valid());
+    return mgr_->from_edge(edge_not(edge_));
+}
+
+Bdd Bdd::operator&(const Bdd& o) const { return mgr_->apply_and(*this, o); }
+Bdd Bdd::operator|(const Bdd& o) const { return mgr_->apply_or(*this, o); }
+Bdd Bdd::operator^(const Bdd& o) const { return mgr_->apply_xor(*this, o); }
+
+// ---------------------------------------------------------------------------
+// Manager: construction, variables
+// ---------------------------------------------------------------------------
+
+Manager::Manager(int num_vars, ManagerParams params) : params_(params) {
+    nodes_.reserve(1024);
+    Node terminal;
+    terminal.level = kTerminalLevel;
+    terminal.hi = kEdgeOne;
+    terminal.lo = kEdgeOne;
+    terminal.ref = 0xffffffffu;  // pinned forever
+    nodes_.push_back(terminal);
+    cache_.assign(std::size_t{1} << params_.cache_size_log2, CacheEntry{});
+    for (int i = 0; i < num_vars; ++i) new_var();
+}
+
+Manager::~Manager() = default;
+
+int Manager::new_var() {
+    const auto level = static_cast<std::uint32_t>(tables_.size());
+    tables_.emplace_back();
+    tables_.back().buckets.assign(16, kNil);
+    level_live_.push_back(0);
+    var_to_level_.push_back(level);
+    level_to_var_.push_back(static_cast<std::uint32_t>(var_to_level_.size() - 1));
+    return static_cast<int>(var_to_level_.size() - 1);
+}
+
+std::vector<int> Manager::current_order() const {
+    std::vector<int> order(level_to_var_.size());
+    for (std::size_t l = 0; l < level_to_var_.size(); ++l) {
+        order[l] = static_cast<int>(level_to_var_[l]);
+    }
+    return order;
+}
+
+Bdd Manager::one() { return from_edge(kEdgeOne); }
+Bdd Manager::zero() { return from_edge(kEdgeZero); }
+
+Bdd Manager::var_bdd(int var) {
+    if (var < 0 || var >= num_vars()) {
+        throw std::out_of_range("Manager::var_bdd: unknown variable");
+    }
+    const Edge e = make_node(var_to_level_[static_cast<std::size_t>(var)], kEdgeOne, kEdgeZero);
+    return from_edge(e);
+}
+
+Bdd Manager::nvar_bdd(int var) { return !var_bdd(var); }
+
+Bdd Manager::from_edge(Edge e) {
+    assert(e != kEdgeInvalid);
+    inc_ref(e);
+    return Bdd(this, e);
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting
+// ---------------------------------------------------------------------------
+
+void Manager::inc_ref(Edge e) {
+    Node& n = nodes_[edge_index(e)];
+    if (n.ref == 0xffffffffu) return;  // saturated / terminal
+    if (n.ref == 0) {
+        // Resurrection of a dead-but-tabled node.
+        --dead_nodes_;
+        ++live_nodes_;
+        ++level_live_[n.level];
+    }
+    ++n.ref;
+}
+
+void Manager::dec_ref(Edge e) {
+    Node& n = nodes_[edge_index(e)];
+    if (n.ref == 0xffffffffu) return;
+    assert(n.ref > 0);
+    --n.ref;
+    if (n.ref == 0) {
+        ++dead_nodes_;
+        --live_nodes_;
+        --level_live_[n.level];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unique table
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::bucket_of(const LevelTable& table, Edge hi, Edge lo) const {
+    std::uint64_t key = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    key *= 0x9e3779b97f4a7c15ULL;
+    key ^= key >> 29;
+    return static_cast<std::size_t>(key) & (table.buckets.size() - 1);
+}
+
+void Manager::maybe_grow_table(LevelTable& table) {
+    if (table.entries < table.buckets.size() * 2) return;
+    std::vector<std::uint32_t> old = std::move(table.buckets);
+    table.buckets.assign(old.size() * 4, kNil);
+    for (std::uint32_t head : old) {
+        for (std::uint32_t idx = head; idx != kNil;) {
+            const std::uint32_t next = nodes_[idx].next;
+            const std::size_t b = bucket_of(table, nodes_[idx].hi, nodes_[idx].lo);
+            nodes_[idx].next = table.buckets[b];
+            table.buckets[b] = idx;
+            idx = next;
+        }
+    }
+}
+
+void Manager::table_insert(std::uint32_t level, NodeIndex idx) {
+    LevelTable& table = tables_[level];
+    maybe_grow_table(table);
+    const std::size_t b = bucket_of(table, nodes_[idx].hi, nodes_[idx].lo);
+    nodes_[idx].next = table.buckets[b];
+    table.buckets[b] = idx;
+    ++table.entries;
+}
+
+void Manager::table_remove(std::uint32_t level, NodeIndex idx) {
+    LevelTable& table = tables_[level];
+    const std::size_t b = bucket_of(table, nodes_[idx].hi, nodes_[idx].lo);
+    std::uint32_t* link = &table.buckets[b];
+    while (*link != kNil) {
+        if (*link == idx) {
+            *link = nodes_[idx].next;
+            --table.entries;
+            return;
+        }
+        link = &nodes_[*link].next;
+    }
+    assert(false && "table_remove: node not found");
+}
+
+std::uint32_t Manager::alloc_slot() {
+    if (free_list_ != kNil) {
+        const std::uint32_t idx = free_list_;
+        free_list_ = nodes_[idx].next;
+        return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
+    assert(level < tables_.size());
+    assert(edge_level(hi) > level && edge_level(lo) > level);
+    if (hi == lo) return hi;
+    bool complement_out = false;
+    if (edge_complemented(hi)) {
+        // Canonical form: then-edge regular; push complement to the result.
+        hi = edge_not(hi);
+        lo = edge_not(lo);
+        complement_out = true;
+    }
+    LevelTable& table = tables_[level];
+    const std::size_t b = bucket_of(table, hi, lo);
+    for (std::uint32_t idx = table.buckets[b]; idx != kNil; idx = nodes_[idx].next) {
+        if (nodes_[idx].hi == hi && nodes_[idx].lo == lo) {
+            return make_edge(idx, complement_out);
+        }
+    }
+    const std::uint32_t idx = alloc_slot();
+    Node& n = nodes_[idx];
+    n.level = level;
+    n.hi = hi;
+    n.lo = lo;
+    n.ref = 0;
+    inc_ref(hi);
+    inc_ref(lo);
+    table_insert(level, idx);
+    ++dead_nodes_;  // born dead; parents / handles will reference it
+    if (live_nodes_ + dead_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_ + dead_nodes_;
+    return make_edge(idx, complement_out);
+}
+
+// ---------------------------------------------------------------------------
+// Computed table
+// ---------------------------------------------------------------------------
+
+bool Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, Edge* out) const {
+    std::uint64_t key = static_cast<std::uint64_t>(f) * 0x9e3779b97f4a7c15ULL;
+    key ^= static_cast<std::uint64_t>(g) * 0xc2b2ae3d27d4eb4fULL;
+    key ^= static_cast<std::uint64_t>(h) * 0x165667b19e3779f9ULL;
+    key ^= static_cast<std::uint64_t>(op);
+    const CacheEntry& e = cache_[static_cast<std::size_t>(key >> 13) & (cache_.size() - 1)];
+    if (e.op == op && e.f == f && e.g == g && e.h == h && e.result != kEdgeInvalid) {
+        *out = e.result;
+        return true;
+    }
+    return false;
+}
+
+void Manager::cache_insert(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
+    std::uint64_t key = static_cast<std::uint64_t>(f) * 0x9e3779b97f4a7c15ULL;
+    key ^= static_cast<std::uint64_t>(g) * 0xc2b2ae3d27d4eb4fULL;
+    key ^= static_cast<std::uint64_t>(h) * 0x165667b19e3779f9ULL;
+    key ^= static_cast<std::uint64_t>(op);
+    CacheEntry& e = cache_[static_cast<std::size_t>(key >> 13) & (cache_.size() - 1)];
+    e = CacheEntry{f, g, h, result, op};
+}
+
+void Manager::cache_clear() {
+    for (auto& e : cache_) e = CacheEntry{};
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void Manager::gc() {
+    assert(op_depth_ == 0 && "gc during an active operation");
+    // Sweep levels top-down: freeing a node can only kill deeper nodes.
+    for (std::uint32_t level = 0; level < tables_.size(); ++level) {
+        LevelTable& table = tables_[level];
+        for (auto& head : table.buckets) {
+            std::uint32_t* link = &head;
+            while (*link != kNil) {
+                const std::uint32_t idx = *link;
+                Node& n = nodes_[idx];
+                if (n.ref == 0) {
+                    *link = n.next;
+                    --table.entries;
+                    dec_ref(n.hi);
+                    dec_ref(n.lo);
+                    n.level = kTerminalLevel;
+                    n.hi = kEdgeInvalid;
+                    n.lo = kEdgeInvalid;
+                    n.next = free_list_;
+                    free_list_ = idx;
+                    --dead_nodes_;
+                } else {
+                    link = &n.next;
+                }
+            }
+        }
+    }
+    cache_clear();
+}
+
+void Manager::auto_gc_if_needed() {
+    if (op_depth_ == 0 && dead_nodes_ > params_.gc_dead_threshold) gc();
+}
+
+// ---------------------------------------------------------------------------
+// Structure access
+// ---------------------------------------------------------------------------
+
+std::uint32_t Manager::edge_level(Edge e) const { return nodes_[edge_index(e)].level; }
+
+int Manager::edge_top_var(Edge e) const {
+    const std::uint32_t level = edge_level(e);
+    return level == kTerminalLevel ? -1 : static_cast<int>(level_to_var_[level]);
+}
+
+Edge Manager::edge_then(Edge e) const {
+    const Node& n = nodes_[edge_index(e)];
+    return edge_complemented(e) ? edge_not(n.hi) : n.hi;
+}
+
+Edge Manager::edge_else(Edge e) const {
+    const Node& n = nodes_[edge_index(e)];
+    return edge_complemented(e) ? edge_not(n.lo) : n.lo;
+}
+
+void Manager::cofactors_at(Edge e, std::uint32_t level, Edge* hi, Edge* lo) const {
+    if (edge_level(e) != level) {
+        *hi = e;
+        *lo = e;
+        return;
+    }
+    *hi = edge_then(e);
+    *lo = edge_else(e);
+}
+
+Bdd Manager::node_function(NodeIndex v) { return from_edge(make_edge(v, false)); }
+
+}  // namespace bdsmaj::bdd

@@ -1,0 +1,259 @@
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace bdsmaj::bdd {
+
+namespace {
+
+/// RAII guard that marks a recursive core as active, blocking GC.
+class OpGuard {
+public:
+    explicit OpGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~OpGuard() { --depth_; }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+
+private:
+    int& depth_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ITE — the single recursive core all Boolean connectives reduce to.
+// ---------------------------------------------------------------------------
+
+Edge Manager::ite_rec(Edge f, Edge g, Edge h) {
+    // Terminal cases.
+    if (f == kEdgeOne) return g;
+    if (f == kEdgeZero) return h;
+    if (g == h) return g;
+    if (g == kEdgeOne && h == kEdgeZero) return f;
+    if (g == kEdgeZero && h == kEdgeOne) return edge_not(f);
+    // Standard-triple simplifications: replace arguments equal (or
+    // complementary) to f by constants.
+    if (g == f) g = kEdgeOne;
+    if (g == edge_not(f)) g = kEdgeZero;
+    if (h == f) h = kEdgeZero;
+    if (h == edge_not(f)) h = kEdgeOne;
+    if (g == h) return g;
+    if (g == kEdgeOne && h == kEdgeZero) return f;
+    if (g == kEdgeZero && h == kEdgeOne) return edge_not(f);
+    // Canonicalize for the computed table: f regular...
+    if (edge_complemented(f)) {
+        f = edge_not(f);
+        std::swap(g, h);
+    }
+    // ...and g regular, pushing the complement to the output.
+    bool complement_out = false;
+    if (edge_complemented(g)) {
+        g = edge_not(g);
+        h = edge_not(h);
+        complement_out = true;
+    }
+
+    Edge cached;
+    if (cache_lookup(CacheOp::kIte, f, g, h, &cached)) {
+        return complement_out ? edge_not(cached) : cached;
+    }
+
+    const std::uint32_t level =
+        std::min({edge_level(f), edge_level(g), edge_level(h)});
+    Edge f1, f0, g1, g0, h1, h0;
+    cofactors_at(f, level, &f1, &f0);
+    cofactors_at(g, level, &g1, &g0);
+    cofactors_at(h, level, &h1, &h0);
+
+    const Edge t = ite_rec(f1, g1, h1);
+    const Edge e = ite_rec(f0, g0, h0);
+    const Edge r = make_node(level, t, e);
+
+    cache_insert(CacheOp::kIte, f, g, h, r);
+    return complement_out ? edge_not(r) : r;
+}
+
+Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+    assert(f.manager() == this && g.manager() == this && h.manager() == this);
+    Edge r;
+    {
+        OpGuard guard(op_depth_);
+        r = ite_rec(f.edge(), g.edge(), h.edge());
+    }
+    Bdd out = from_edge(r);
+    auto_gc_if_needed();
+    return out;
+}
+
+Bdd Manager::apply_and(const Bdd& f, const Bdd& g) { return ite(f, g, zero()); }
+Bdd Manager::apply_or(const Bdd& f, const Bdd& g) { return ite(f, one(), g); }
+Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) { return ite(f, !g, g); }
+Bdd Manager::apply_xnor(const Bdd& f, const Bdd& g) { return ite(f, g, !g); }
+
+Bdd Manager::maj(const Bdd& a, const Bdd& b, const Bdd& c) {
+    // Maj(a,b,c) = ITE(a, b|c, b&c); a single ITE keeps the work cached.
+    return ite(a, apply_or(b, c), apply_and(b, c));
+}
+
+// ---------------------------------------------------------------------------
+// Quantification and single-variable cofactors
+// ---------------------------------------------------------------------------
+
+Bdd Manager::cofactor(const Bdd& f, int var, bool value) {
+    // Restricting one variable is constrain against the literal.
+    return constrain(f, value ? var_bdd(var) : nvar_bdd(var));
+}
+
+Bdd Manager::exists(const Bdd& f, int var) {
+    return apply_or(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+Bdd Manager::forall(const Bdd& f, int var) {
+    return apply_and(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::dag_size(const Bdd& f) {
+    const Bdd fs[] = {f};
+    return dag_size(std::span<const Bdd>(fs));
+}
+
+std::size_t Manager::dag_size(std::span<const Bdd> fs) {
+    std::unordered_set<NodeIndex> seen;
+    std::vector<NodeIndex> stack;
+    for (const Bdd& f : fs) {
+        assert(f.manager() == this);
+        const NodeIndex root = edge_index(f.edge());
+        if (root != kTerminalIndex && seen.insert(root).second) stack.push_back(root);
+    }
+    while (!stack.empty()) {
+        const NodeIndex idx = stack.back();
+        stack.pop_back();
+        for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
+            const NodeIndex ci = edge_index(child);
+            if (ci != kTerminalIndex && seen.insert(ci).second) stack.push_back(ci);
+        }
+    }
+    return seen.size();
+}
+
+void Manager::visit_nodes(const Bdd& f, const std::function<void(NodeIndex)>& fn) {
+    std::unordered_set<NodeIndex> seen;
+    std::vector<NodeIndex> stack;
+    const NodeIndex root = edge_index(f.edge());
+    if (root != kTerminalIndex) {
+        seen.insert(root);
+        stack.push_back(root);
+    }
+    while (!stack.empty()) {
+        const NodeIndex idx = stack.back();
+        stack.pop_back();
+        fn(idx);
+        for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
+            const NodeIndex ci = edge_index(child);
+            if (ci != kTerminalIndex && seen.insert(ci).second) stack.push_back(ci);
+        }
+    }
+}
+
+std::vector<int> Manager::support_vars(const Bdd& f) {
+    std::vector<bool> at_level(tables_.size(), false);
+    visit_nodes(f, [&](NodeIndex idx) { at_level[nodes_[idx].level] = true; });
+    std::vector<int> vars;
+    for (std::size_t l = 0; l < at_level.size(); ++l) {
+        if (at_level[l]) vars.push_back(static_cast<int>(level_to_var_[l]));
+    }
+    std::sort(vars.begin(), vars.end());
+    return vars;
+}
+
+double Manager::sat_fraction(const Bdd& f) {
+    // Fraction of satisfying assignments; level gaps contribute factor 1
+    // because both branches of a skipped variable agree.
+    std::unordered_map<NodeIndex, double> memo;
+    auto rec = [&](auto&& self, Edge e) -> double {
+        if (e == kEdgeOne) return 1.0;
+        if (e == kEdgeZero) return 0.0;
+        const NodeIndex idx = edge_index(e);
+        double frac;
+        if (auto it = memo.find(idx); it != memo.end()) {
+            frac = it->second;
+        } else {
+            frac = 0.5 * self(self, nodes_[idx].hi) + 0.5 * self(self, nodes_[idx].lo);
+            memo.emplace(idx, frac);
+        }
+        return edge_complemented(e) ? 1.0 - frac : frac;
+    };
+    return rec(rec, f.edge());
+}
+
+bool Manager::eval(const Bdd& f, const std::vector<bool>& values_by_var) {
+    Edge e = f.edge();
+    bool complement = false;
+    while (!edge_is_constant(e)) {
+        complement ^= edge_complemented(e);
+        const Node& n = nodes_[edge_index(e)];
+        const int var = static_cast<int>(level_to_var_[n.level]);
+        assert(static_cast<std::size_t>(var) < values_by_var.size());
+        e = values_by_var[static_cast<std::size_t>(var)] ? n.hi : n.lo;
+    }
+    return complement ^ edge_complemented(e) ? false : true;
+}
+
+// ---------------------------------------------------------------------------
+// Truth-table bridge (test oracle)
+// ---------------------------------------------------------------------------
+
+tt::TruthTable Manager::to_truth_table(const Bdd& f, int num_tt_vars) {
+    std::unordered_map<NodeIndex, tt::TruthTable> memo;
+    auto rec = [&](auto&& self, Edge e) -> tt::TruthTable {
+        if (e == kEdgeOne) return tt::TruthTable::ones(num_tt_vars);
+        if (e == kEdgeZero) return tt::TruthTable::zeros(num_tt_vars);
+        const NodeIndex idx = edge_index(e);
+        auto it = memo.find(idx);
+        if (it == memo.end()) {
+            const Node& n = nodes_[idx];
+            const int var = static_cast<int>(level_to_var_[n.level]);
+            const tt::TruthTable v = tt::TruthTable::var(num_tt_vars, var);
+            const tt::TruthTable result =
+                tt::ite(v, self(self, n.hi), self(self, n.lo));
+            it = memo.emplace(idx, result).first;
+        }
+        return edge_complemented(e) ? ~it->second : it->second;
+    };
+    return rec(rec, f.edge());
+}
+
+Bdd Manager::from_truth_table(const tt::TruthTable& table) {
+    while (num_vars() < table.num_vars()) new_var();
+    // Shannon-expand in current level order so construction is linear in the
+    // result; recursion is over the manager's level sequence.
+    auto rec = [&](auto&& self, const tt::TruthTable& t, std::size_t level_pos) -> Edge {
+        if (t.is_const0()) return kEdgeZero;
+        if (t.is_const1()) return kEdgeOne;
+        assert(level_pos < level_to_var_.size());
+        const int var = static_cast<int>(level_to_var_[level_pos]);
+        if (var >= table.num_vars() || !t.depends_on(var)) {
+            return self(self, t, level_pos + 1);
+        }
+        const Edge hi = self(self, t.cofactor(var, true), level_pos + 1);
+        const Edge lo = self(self, t.cofactor(var, false), level_pos + 1);
+        return make_node(static_cast<std::uint32_t>(level_pos), hi, lo);
+    };
+    Edge r;
+    {
+        OpGuard guard(op_depth_);
+        r = rec(rec, table, 0);
+    }
+    Bdd out = from_edge(r);
+    auto_gc_if_needed();
+    return out;
+}
+
+}  // namespace bdsmaj::bdd

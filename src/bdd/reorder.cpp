@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+
+namespace bdsmaj::bdd {
+
+// ---------------------------------------------------------------------------
+// In-place adjacent-level swap.
+//
+// Variables x (upper level u) and y (lower level u+1) exchange positions.
+// All node indices stay valid: nodes are rewritten in place, so every
+// outstanding handle and every parent edge continues to denote the same
+// function. The procedure is the classical one used by reordering BDD
+// packages:
+//   1. evacuate both levels from their unique tables;
+//   2. x-nodes that do not reference level u+1 simply move down;
+//   3. x-nodes that do are rewritten in place into y-nodes over fresh
+//      (or shared) x-nodes built at level u+1:
+//         x ? (y?f11:f10) : (y?f01:f00)   ==   y ? (x?f11:f01) : (x?f10:f00)
+//   4. old y-nodes that are still referenced move up, dead ones are freed.
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::swap_levels_internal(std::uint32_t upper) {
+    const std::uint32_t lower = upper + 1;
+    assert(lower < tables_.size());
+
+    auto evacuate = [&](std::uint32_t level) {
+        std::vector<NodeIndex> out;
+        LevelTable& table = tables_[level];
+        for (auto& head : table.buckets) {
+            for (std::uint32_t idx = head; idx != kNil;) {
+                const std::uint32_t next = nodes_[idx].next;
+                out.push_back(idx);
+                idx = next;
+            }
+            head = kNil;
+        }
+        table.entries = 0;
+        return out;
+    };
+
+    const std::vector<NodeIndex> xs = evacuate(upper);
+    const std::vector<NodeIndex> ys = evacuate(lower);
+
+    auto free_dead_node = [&](NodeIndex idx) {
+        // Node is out of every table and has ref == 0.
+        dec_ref(nodes_[idx].hi);
+        dec_ref(nodes_[idx].lo);
+        nodes_[idx].level = kTerminalLevel;
+        nodes_[idx].hi = kEdgeInvalid;
+        nodes_[idx].lo = kEdgeInvalid;
+        nodes_[idx].next = free_list_;
+        free_list_ = idx;
+        --dead_nodes_;
+    };
+
+    // Pass 1: move x-nodes independent of y down to the lower level, so that
+    // pass 2's make_node lookups can share them instead of duplicating.
+    std::vector<NodeIndex> to_restructure;
+    for (const NodeIndex idx : xs) {
+        if (nodes_[idx].ref == 0) {
+            free_dead_node(idx);
+            continue;
+        }
+        const Edge t = nodes_[idx].hi;
+        const Edge e = nodes_[idx].lo;
+        if (edge_level(t) != lower && edge_level(e) != lower) {
+            --level_live_[upper];
+            ++level_live_[lower];
+            nodes_[idx].level = lower;
+            table_insert(lower, idx);
+        } else {
+            to_restructure.push_back(idx);
+        }
+    }
+
+    // Pass 2: rewrite y-dependent x-nodes in place.
+    for (const NodeIndex idx : to_restructure) {
+        const Edge t = nodes_[idx].hi;  // regular by invariant
+        const Edge e = nodes_[idx].lo;
+        Edge f11, f10, f01, f00;
+        cofactors_at(t, lower, &f11, &f10);
+        cofactors_at(e, lower, &f01, &f00);
+        // make_node may reallocate nodes_; do not hold references across it.
+        const Edge new_hi = make_node(lower, f11, f01);
+        const Edge new_lo = make_node(lower, f10, f00);
+        assert(!edge_complemented(new_hi));
+        assert(new_hi != new_lo);
+        inc_ref(new_hi);
+        inc_ref(new_lo);
+        dec_ref(t);
+        dec_ref(e);
+        nodes_[idx].hi = new_hi;
+        nodes_[idx].lo = new_lo;
+        table_insert(upper, idx);  // stays at `upper`, now labeled y
+    }
+
+    // Pass 3: relocate surviving y-nodes to the upper level, free dead ones.
+    for (const NodeIndex idx : ys) {
+        if (nodes_[idx].ref == 0) {
+            free_dead_node(idx);
+        } else {
+            --level_live_[lower];
+            ++level_live_[upper];
+            nodes_[idx].level = upper;
+            table_insert(upper, idx);
+        }
+    }
+
+    // Pass 4: exchange the variable labels of the two levels.
+    std::swap(level_to_var_[upper], level_to_var_[lower]);
+    var_to_level_[level_to_var_[upper]] = upper;
+    var_to_level_[level_to_var_[lower]] = lower;
+    return live_nodes_;
+}
+
+void Manager::swap_adjacent_levels(int level) {
+    if (level < 0 || level + 1 >= static_cast<int>(tables_.size())) {
+        throw std::out_of_range("swap_adjacent_levels: bad level");
+    }
+    assert(op_depth_ == 0);
+    cache_clear();  // cache entries are order-dependent
+    swap_levels_internal(static_cast<std::uint32_t>(level));
+}
+
+// ---------------------------------------------------------------------------
+// Rudell sifting: move each variable through the whole order, keep the best
+// position. Variables are processed in decreasing order of their level's
+// node count, the standard heuristic.
+// ---------------------------------------------------------------------------
+
+void Manager::sift_var_to(int var, int target_level) {
+    int cur = level_of_var(var);
+    while (cur < target_level) {
+        swap_levels_internal(static_cast<std::uint32_t>(cur));
+        ++cur;
+    }
+    while (cur > target_level) {
+        swap_levels_internal(static_cast<std::uint32_t>(cur - 1));
+        --cur;
+    }
+}
+
+void Manager::sift() {
+    assert(op_depth_ == 0);
+    gc();  // start from an exact live census; also clears the cache
+
+    const int num_levels = static_cast<int>(tables_.size());
+    if (num_levels < 2) return;
+
+    std::vector<int> vars(var_to_level_.size());
+    for (std::size_t v = 0; v < vars.size(); ++v) vars[v] = static_cast<int>(v);
+    std::sort(vars.begin(), vars.end(), [&](int a, int b) {
+        return level_live_[var_to_level_[static_cast<std::size_t>(a)]] >
+               level_live_[var_to_level_[static_cast<std::size_t>(b)]];
+    });
+    if (static_cast<int>(vars.size()) > params_.sift_max_vars) {
+        vars.resize(static_cast<std::size_t>(params_.sift_max_vars));
+    }
+
+    for (const int var : vars) {
+        const int start = level_of_var(var);
+        std::size_t best_size = live_nodes_;
+        int best_level = start;
+        int cur = start;
+
+        // Visit the nearer end of the order first: fewer swaps in the common
+        // case where the variable does not want to travel far.
+        const bool down_first = (num_levels - 1 - start) <= start;
+        for (const bool downward : {down_first, !down_first}) {
+            if (downward) {
+                while (cur + 1 < num_levels) {
+                    swap_levels_internal(static_cast<std::uint32_t>(cur));
+                    ++cur;
+                    if (live_nodes_ < best_size) {
+                        best_size = live_nodes_;
+                        best_level = cur;
+                    } else if (static_cast<double>(live_nodes_) >
+                               params_.sift_max_growth * static_cast<double>(best_size)) {
+                        break;
+                    }
+                }
+            } else {
+                while (cur > 0) {
+                    swap_levels_internal(static_cast<std::uint32_t>(cur - 1));
+                    --cur;
+                    if (live_nodes_ < best_size) {
+                        best_size = live_nodes_;
+                        best_level = cur;
+                    } else if (static_cast<double>(live_nodes_) >
+                               params_.sift_max_growth * static_cast<double>(best_size)) {
+                        break;
+                    }
+                }
+            }
+        }
+        sift_var_to(var, best_level);
+        if (dead_nodes_ > params_.gc_dead_threshold) gc();
+    }
+    gc();
+}
+
+}  // namespace bdsmaj::bdd

@@ -1,0 +1,65 @@
+#include "benchgen/suite.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/arith.hpp"
+#include "benchgen/mcnc.hpp"
+
+namespace bdsmaj::benchgen {
+
+namespace {
+
+net::Network build(const std::string& name, bool quick) {
+    // MCNC rows.
+    if (name == "alu2") return make_alu2();
+    if (name == "C6288") return quick ? make_array_multiplier(8) : make_c6288();
+    if (name == "C1355") return make_c1355();
+    if (name == "dalu") return make_dalu();
+    if (name == "apex6") return make_apex6();
+    if (name == "vda") return make_vda();
+    if (name == "f51m") return make_f51m();
+    if (name == "misex3") return make_misex3();
+    if (name == "seq") return make_seq();
+    if (name == "bigkey") return make_bigkey();
+    // HDL rows.
+    if (name == "SQRT 32 bit") return make_sqrt(quick ? 8 : 16);
+    if (name == "Wallace 16 bit") return make_wallace_multiplier(quick ? 8 : 16);
+    if (name == "CLA 64 bit") return make_cla_adder(quick ? 16 : 64);
+    if (name == "Rev (1/X) 19 bit") return make_reciprocal(quick ? 10 : 19);
+    if (name == "Div 18 bit") return make_restoring_divider(quick ? 9 : 18);
+    if (name == "MAC 16 bit") return make_mac(quick ? 8 : 16);
+    if (name == "4-Op ADD 16 bit") return make_four_operand_adder(quick ? 8 : 16);
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+    return {
+        "alu2",        "C6288",          "C1355",       "dalu",
+        "apex6",       "vda",            "f51m",        "misex3",
+        "seq",         "bigkey",         "SQRT 32 bit", "Wallace 16 bit",
+        "CLA 64 bit",  "Rev (1/X) 19 bit", "Div 18 bit", "MAC 16 bit",
+        "4-Op ADD 16 bit",
+    };
+}
+
+net::Network benchmark_by_name(const std::string& name, bool quick) {
+    return build(name, quick);
+}
+
+std::vector<BenchmarkCase> table_suite(bool quick) {
+    std::vector<BenchmarkCase> suite;
+    int index = 0;
+    for (const std::string& name : benchmark_names()) {
+        BenchmarkCase bc;
+        bc.name = name;
+        bc.is_mcnc = index < 10;
+        bc.network = build(name, quick);
+        suite.push_back(std::move(bc));
+        ++index;
+    }
+    return suite;
+}
+
+}  // namespace bdsmaj::benchgen

@@ -1,0 +1,29 @@
+#pragma once
+// The Table I/II benchmark suite: ten MCNC entries and seven HDL
+// arithmetic entries, by the paper's names.
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace bdsmaj::benchgen {
+
+struct BenchmarkCase {
+    std::string name;   ///< the paper's row label
+    bool is_mcnc = true;
+    net::Network network;
+};
+
+/// All seventeen benchmarks in Table I order. `quick` substitutes reduced
+/// bit-widths for the heaviest arithmetic circuits (for fast CI runs); the
+/// full suite matches the paper's widths.
+[[nodiscard]] std::vector<BenchmarkCase> table_suite(bool quick = false);
+
+/// Single benchmark by its Table I row label (e.g. "C6288", "Div 18 bit").
+[[nodiscard]] net::Network benchmark_by_name(const std::string& name, bool quick = false);
+
+/// Row labels in Table I order.
+[[nodiscard]] std::vector<std::string> benchmark_names();
+
+}  // namespace bdsmaj::benchgen

@@ -1,0 +1,228 @@
+#include "decomp/dominators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using bdd::Bdd;
+using bdd::Edge;
+using bdd::Manager;
+using bdd::NodeIndex;
+
+constexpr double kPathTolerance = 1e-9;
+
+bool close(double a, double b) {
+    return std::abs(a - b) <= kPathTolerance * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+DominatorAnalysis::DominatorAnalysis(Manager& mgr, const Bdd& f) : mgr_(mgr), f_(f) {
+    if (f.is_constant()) return;
+
+    // Collect the DAG and sort by level: parents strictly above children,
+    // so ascending level order is topological.
+    std::vector<NodeIndex> dag;
+    mgr_.visit_nodes(f, [&](NodeIndex v) { dag.push_back(v); });
+    std::sort(dag.begin(), dag.end(), [&](NodeIndex a, NodeIndex b) {
+        const Edge ea = bdd::make_edge(a, false);
+        const Edge eb = bdd::make_edge(b, false);
+        return mgr_.edge_level(ea) < mgr_.edge_level(eb);
+    });
+    std::unordered_map<NodeIndex, std::size_t> pos;
+    for (std::size_t i = 0; i < dag.size(); ++i) pos.emplace(dag[i], i);
+
+    // Downward DP: root-to-node path counts split by complement parity.
+    std::vector<double> pe(dag.size(), 0.0), po(dag.size(), 0.0);
+    const NodeIndex root = bdd::edge_index(f.edge());
+    if (bdd::edge_complemented(f.edge())) {
+        po[pos[root]] = 1.0;
+    } else {
+        pe[pos[root]] = 1.0;
+    }
+    // Upward DP: node-to-terminal path counts by parity (parity of edges
+    // below the node; even parity ends at the 1 value).
+    std::vector<double> qe(dag.size(), 0.0), qo(dag.size(), 0.0);
+
+    infos_.resize(dag.size());
+    for (std::size_t i = 0; i < dag.size(); ++i) {
+        const NodeIndex v = dag[i];
+        const Edge reg = bdd::make_edge(v, false);
+        infos_[i].node = v;
+        infos_[i].level = mgr_.edge_level(reg);
+        infos_[i].is_root = (v == root);
+        const Edge t = mgr_.edge_then(reg);
+        const Edge e = mgr_.edge_else(reg);
+        // Propagate path counts downward.
+        if (!bdd::edge_is_constant(t)) {
+            const std::size_t ti = pos[bdd::edge_index(t)];
+            pe[ti] += pe[i];
+            po[ti] += po[i];
+            ++infos_[ti].then_fanin;
+        }
+        if (!bdd::edge_is_constant(e)) {
+            const std::size_t ei = pos[bdd::edge_index(e)];
+            if (bdd::edge_complemented(e)) {
+                pe[ei] += po[i];
+                po[ei] += pe[i];
+                ++infos_[ei].else_fanin_comp;
+            } else {
+                pe[ei] += pe[i];
+                po[ei] += po[i];
+                ++infos_[ei].else_fanin_reg;
+            }
+        }
+    }
+    // Fanin bookkeeping above only tracked internal children; indexes are
+    // aligned with `infos_` because `pos` maps the shared `dag` order.
+
+    for (std::size_t i = dag.size(); i-- > 0;) {
+        const NodeIndex v = dag[i];
+        const Edge reg = bdd::make_edge(v, false);
+        const Edge t = mgr_.edge_then(reg);
+        const Edge e = mgr_.edge_else(reg);
+        const auto contribution = [&](Edge child, double* even, double* odd) {
+            const bool comp = bdd::edge_complemented(child);
+            if (bdd::edge_is_constant(child)) {
+                // A terminal edge is one path whose parity is the edge's
+                // complement bit.
+                (comp ? *odd : *even) += 1.0;
+                return;
+            }
+            const std::size_t ci = pos[bdd::edge_index(child)];
+            if (comp) {
+                *even += qo[ci];
+                *odd += qe[ci];
+            } else {
+                *even += qe[ci];
+                *odd += qo[ci];
+            }
+        };
+        contribution(t, &qe[i], &qo[i]);
+        contribution(e, &qe[i], &qo[i]);
+    }
+
+    const std::size_t root_pos = pos[root];
+    const double total_paths = qe[root_pos] + qo[root_pos];
+    const bool root_comp = bdd::edge_complemented(f.edge());
+    const double total_one_paths = root_comp ? qo[root_pos] : qe[root_pos];
+    const double total_zero_paths = root_comp ? qe[root_pos] : qo[root_pos];
+
+    const Bdd one = mgr_.one();
+    for (std::size_t i = 0; i < dag.size(); ++i) {
+        NodeDomInfo& info = infos_[i];
+        if (info.is_root) continue;  // root decompositions are trivial
+        const double through_all = (pe[i] + po[i]) * (qe[i] + qo[i]);
+        const double through_one = pe[i] * qe[i] + po[i] * qo[i];
+        const double through_zero = pe[i] * qo[i] + po[i] * qe[i];
+        const Bdd fv = mgr_.node_function(info.node);
+
+        if (close(through_all, total_paths)) {
+            // Candidate x-dominator; verify F == F_{v->0} XOR Fv. The
+            // node-replacement operator respects path parity, so this
+            // identity covers mixed arrival parities too.
+            const Bdd g = mgr_.replace_node_with_const(f_, info.node, false);
+            if (mgr_.apply_xor(g, fv) == f_) info.is_x_dominator = true;
+        }
+        // AND/OR decompositions need a uniform arrival parity: even paths
+        // see Fv, odd paths see !Fv. With odd parity the replacement
+        // constants invert as well (replace(v, c) contributes c ^ parity).
+        const bool even_arrivals = po[i] == 0.0;
+        const bool odd_arrivals = pe[i] == 0.0;
+        if ((even_arrivals || odd_arrivals) && close(through_one, total_one_paths)) {
+            const Bdd g =
+                mgr_.replace_node_with_const(f_, info.node, even_arrivals);
+            const Bdd divisor = even_arrivals ? fv : !fv;
+            if (mgr_.apply_and(g, divisor) == f_) {
+                info.is_one_dominator = true;
+                info.divisor_complemented = odd_arrivals;
+            }
+        }
+        if ((even_arrivals || odd_arrivals) && close(through_zero, total_zero_paths)) {
+            const Bdd g =
+                mgr_.replace_node_with_const(f_, info.node, !even_arrivals);
+            const Bdd divisor = even_arrivals ? fv : !fv;
+            if (mgr_.apply_or(g, divisor) == f_) {
+                info.is_zero_dominator = true;
+                info.divisor_complemented = odd_arrivals;
+            }
+        }
+        has_simple_ |= info.is_x_dominator || info.is_one_dominator ||
+                       info.is_zero_dominator;
+    }
+}
+
+SimpleDecomposition DominatorAnalysis::decompose_at(const NodeDomInfo& info,
+                                                    SimpleDecomposition::Op op) {
+    SimpleDecomposition out;
+    out.op = op;
+    const Bdd fv = mgr_.node_function(info.node);
+    switch (op) {
+        case SimpleDecomposition::Op::kAnd:
+            assert(info.is_one_dominator);
+            out.divisor = info.divisor_complemented ? !fv : fv;
+            out.quotient = mgr_.replace_node_with_const(f_, info.node,
+                                                        !info.divisor_complemented);
+            assert(mgr_.apply_and(out.quotient, out.divisor) == f_);
+            break;
+        case SimpleDecomposition::Op::kOr:
+            assert(info.is_zero_dominator);
+            out.divisor = info.divisor_complemented ? !fv : fv;
+            out.quotient = mgr_.replace_node_with_const(f_, info.node,
+                                                        info.divisor_complemented);
+            assert(mgr_.apply_or(out.quotient, out.divisor) == f_);
+            break;
+        case SimpleDecomposition::Op::kXor:
+            assert(info.is_x_dominator);
+            out.divisor = fv;
+            out.quotient = mgr_.replace_node_with_const(f_, info.node, false);
+            assert(mgr_.apply_xor(out.quotient, out.divisor) == f_);
+            break;
+    }
+    return out;
+}
+
+std::vector<bdd::NodeIndex> DominatorAnalysis::m_dominators(
+    int max_count, std::uint32_t min_then_fanin, std::uint32_t min_else_fanin) const {
+    struct Candidate {
+        bdd::NodeIndex node;
+        std::uint32_t connectivity;
+    };
+    std::vector<Candidate> candidates;
+    for (const NodeDomInfo& info : infos_) {
+        if (info.is_root) continue;
+        // Condition (i): not a simple dominator.
+        if (info.is_one_dominator || info.is_zero_dominator || info.is_x_dominator) {
+            continue;
+        }
+        // Condition (ii): reached through then-edges and through else-edges
+        // — the Maj(Fa,1,0) / Maj(Fa,0,1) reachability argument. A
+        // complemented else arrival serves the same role with Fa taken in
+        // the opposite polarity (Theorem 3.2 holds for any Fa), so both
+        // else polarities count.
+        if (info.then_fanin < min_then_fanin ||
+            info.else_fanin_reg + info.else_fanin_comp < min_else_fanin) {
+            continue;
+        }
+        candidates.push_back(
+            Candidate{info.node, info.then_fanin + info.else_fanin_reg +
+                                     info.else_fanin_comp});
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                         return a.connectivity > b.connectivity;
+                     });
+    std::vector<bdd::NodeIndex> out;
+    for (const Candidate& c : candidates) {
+        if (static_cast<int>(out.size()) >= max_count) break;
+        out.push_back(c.node);
+    }
+    return out;
+}
+
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,85 @@
+#pragma once
+// Dominator analysis on BDD structure (paper SII-C, SIII-B).
+//
+// A node v of F's BDD DAG is
+//   * a 1-dominator when every 1-path (root-to-terminal path of even
+//     complement parity) passes through v and every path reaching v has
+//     even parity: then F = F_{v->1} AND Fv (conjunctive decomposition);
+//   * a 0-dominator when the dual holds for 0-paths:
+//     F = F_{v->0} OR Fv (disjunctive decomposition);
+//   * an x-dominator when every path passes through v:
+//     F = F_{v->0} XOR Fv (the BDS XNOR/XOR decomposition);
+//   * a non-trivial m-dominator (the paper's new class) when it is none of
+//     the above and is reached both through then-edges and through regular
+//     else-edges (condition (ii)): a highly connected node, the candidate
+//     Fa of the majority decomposition.
+//
+// Candidates are detected with a path-parity counting DP and then verified
+// exactly with BDD operations, so floating-point path counts can never
+// produce a wrong decomposition.
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace bdsmaj::decomp {
+
+struct NodeDomInfo {
+    bdd::NodeIndex node = 0;
+    std::uint32_t level = 0;
+    std::uint32_t then_fanin = 0;       ///< incoming then-edges within the DAG
+    std::uint32_t else_fanin_reg = 0;   ///< incoming regular else-edges
+    std::uint32_t else_fanin_comp = 0;  ///< incoming complemented else-edges
+    bool is_one_dominator = false;
+    bool is_zero_dominator = false;
+    bool is_x_dominator = false;
+    bool is_root = false;
+    /// True when every path reaches the node with odd complement parity;
+    /// the AND/OR decomposition then uses the complemented node function
+    /// (F = quotient OP !Fv). XOR absorbs parity and never needs this.
+    bool divisor_complemented = false;
+};
+
+/// A verified simple-dominator decomposition F = quotient OP node_function.
+struct SimpleDecomposition {
+    enum class Op { kAnd, kOr, kXor } op = Op::kAnd;
+    bdd::Bdd quotient;  ///< F with the dominator node redirected to a constant
+    bdd::Bdd divisor;   ///< function rooted at the dominator node
+};
+
+class DominatorAnalysis {
+public:
+    /// Analyze the DAG of `f` in `mgr`. Simple-dominator flags are verified
+    /// with exact BDD identities before being set.
+    DominatorAnalysis(bdd::Manager& mgr, const bdd::Bdd& f);
+
+    /// Per-node info, root first (topological order by level).
+    [[nodiscard]] const std::vector<NodeDomInfo>& nodes() const noexcept {
+        return infos_;
+    }
+
+    [[nodiscard]] bool has_simple_dominator() const noexcept {
+        return has_simple_;
+    }
+
+    /// Build the verified decomposition for a flagged node.
+    [[nodiscard]] SimpleDecomposition decompose_at(const NodeDomInfo& info,
+                                                   SimpleDecomposition::Op op);
+
+    /// Non-trivial m-dominator candidates (condition (i) and (ii) of
+    /// SIII-B), ordered by decreasing connectivity, at most `max_count`.
+    /// `min_then_fanin` / `min_else_fanin` tighten condition (ii), the
+    /// paper's knob for pruning the candidate list.
+    [[nodiscard]] std::vector<bdd::NodeIndex> m_dominators(
+        int max_count, std::uint32_t min_then_fanin = 1,
+        std::uint32_t min_else_fanin = 1) const;
+
+private:
+    bdd::Manager& mgr_;
+    bdd::Bdd f_;
+    std::vector<NodeDomInfo> infos_;
+    bool has_simple_ = false;
+};
+
+}  // namespace bdsmaj::decomp

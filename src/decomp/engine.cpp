@@ -1,0 +1,169 @@
+#include "decomp/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "decomp/dominators.hpp"
+#include "decomp/xor_decomp.hpp"
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using bdd::Bdd;
+using bdd::Edge;
+using net::Signal;
+
+}  // namespace
+
+EngineStats& EngineStats::operator+=(const EngineStats& o) {
+    and_steps += o.and_steps;
+    or_steps += o.or_steps;
+    xor_steps += o.xor_steps;
+    maj_steps += o.maj_steps;
+    mux_steps += o.mux_steps;
+    maj_attempts += o.maj_attempts;
+    maj_rejected += o.maj_rejected;
+    literal_leaves += o.literal_leaves;
+    return *this;
+}
+
+BddDecomposer::BddDecomposer(bdd::Manager& mgr, net::HashedNetworkBuilder& builder,
+                             std::vector<net::Signal> leaves, EngineParams params)
+    : mgr_(mgr), builder_(builder), leaves_(std::move(leaves)), params_(params) {}
+
+Signal BddDecomposer::decompose(const Bdd& f) {
+    assert(f.manager() == &mgr_);
+    return decompose_edge(f.edge());
+}
+
+Signal BddDecomposer::decompose_edge(Edge e) {
+    if (bdd::edge_complemented(e)) return !decompose_edge(bdd::edge_not(e));
+    if (e == bdd::kEdgeOne) return builder_.constant(true);
+    const auto it = memo_.find(e);
+    if (it != memo_.end()) return it->second;
+    memo_pins_.push_back(mgr_.from_edge(e));  // pin before any op can GC
+    const Signal s = decompose_regular(e);
+    memo_.emplace(e, s);
+    return s;
+}
+
+Signal BddDecomposer::decompose_regular(Edge e) {
+    const Bdd f = mgr_.from_edge(e);
+    const int top_var = mgr_.edge_top_var(e);
+
+    // Stage 0: literal.
+    if (mgr_.edge_then(e) == bdd::kEdgeOne && mgr_.edge_else(e) == bdd::kEdgeZero) {
+        ++stats_.literal_leaves;
+        assert(static_cast<std::size_t>(top_var) < leaves_.size());
+        return leaves_[static_cast<std::size_t>(top_var)];
+    }
+
+    DominatorAnalysis analysis(mgr_, f);
+
+    // Stage 1: majority decomposition at the top of the dominator search.
+    if (params_.use_majority) {
+        const std::optional<MajDecomposition> md =
+            maj_decompose(mgr_, f, params_.maj);
+        if (md) {
+            ++stats_.maj_attempts;
+            if (maj_globally_advantageous(mgr_, f, *md, params_.maj.k_global)) {
+                ++stats_.maj_steps;
+                const Signal sa = decompose_edge(md->fa.edge());
+                const Signal sb = decompose_edge(md->fb.edge());
+                const Signal sc = decompose_edge(md->fc.edge());
+                return builder_.build_maj(sa, sb, sc);
+            }
+            ++stats_.maj_rejected;
+        }
+    }
+
+    // Stage 2: simple dominators. Shortlist by divisor balance (|Fv| close
+    // to |F|/2), then score shortlisted candidates exactly.
+    if (analysis.has_simple_dominator()) {
+        struct Candidate {
+            const NodeDomInfo* info;
+            SimpleDecomposition::Op op;
+            std::size_t divisor_size;
+        };
+        const std::size_t f_size = mgr_.dag_size(f);
+        std::vector<Candidate> shortlist;
+        for (const NodeDomInfo& info : analysis.nodes()) {
+            if (info.is_one_dominator) {
+                shortlist.push_back({&info, SimpleDecomposition::Op::kAnd,
+                                     mgr_.dag_size(mgr_.node_function(info.node))});
+            } else if (info.is_zero_dominator) {
+                shortlist.push_back({&info, SimpleDecomposition::Op::kOr,
+                                     mgr_.dag_size(mgr_.node_function(info.node))});
+            } else if (info.is_x_dominator) {
+                shortlist.push_back({&info, SimpleDecomposition::Op::kXor,
+                                     mgr_.dag_size(mgr_.node_function(info.node))});
+            }
+        }
+        const auto balance = [f_size](std::size_t part) {
+            const auto half = static_cast<double>(f_size) / 2.0;
+            return std::abs(static_cast<double>(part) - half);
+        };
+        std::stable_sort(shortlist.begin(), shortlist.end(),
+                         [&](const Candidate& a, const Candidate& b) {
+                             return balance(a.divisor_size) < balance(b.divisor_size);
+                         });
+        if (static_cast<int>(shortlist.size()) > params_.max_simple_candidates) {
+            shortlist.resize(static_cast<std::size_t>(params_.max_simple_candidates));
+        }
+        std::optional<SimpleDecomposition> best;
+        std::size_t best_score = 0;
+        for (const Candidate& c : shortlist) {
+            SimpleDecomposition d = analysis.decompose_at(*c.info, c.op);
+            const std::size_t score =
+                std::max(mgr_.dag_size(d.quotient), mgr_.dag_size(d.divisor));
+            if (!best || score < best_score) {
+                best_score = score;
+                best = std::move(d);
+            }
+        }
+        if (best) {
+            const Signal q = decompose_edge(best->quotient.edge());
+            const Signal d = decompose_edge(best->divisor.edge());
+            switch (best->op) {
+                case SimpleDecomposition::Op::kAnd:
+                    ++stats_.and_steps;
+                    return builder_.build_and(q, d);
+                case SimpleDecomposition::Op::kOr:
+                    ++stats_.or_steps;
+                    return builder_.build_or(q, d);
+                case SimpleDecomposition::Op::kXor:
+                    ++stats_.xor_steps;
+                    return builder_.build_xor(q, d);
+            }
+        }
+    }
+
+    // Stage 3: generalized (non-disjoint) XOR split, accepted only when
+    // both parts strictly shrink.
+    {
+        const std::size_t f_size = mgr_.dag_size(f);
+        const XorSplit split = xor_decompose(mgr_, f, params_.maj.xor_params);
+        if (!split.trivial) {
+            const auto limit = static_cast<double>(f_size) * params_.xor_acceptance_factor;
+            if (static_cast<double>(mgr_.dag_size(split.m)) < limit &&
+                static_cast<double>(mgr_.dag_size(split.k)) < limit) {
+                ++stats_.xor_steps;
+                const Signal m = decompose_edge(split.m.edge());
+                const Signal k = decompose_edge(split.k.edge());
+                return builder_.build_xor(m, k);
+            }
+        }
+    }
+
+    // Stage 4: Shannon cofactoring on the top variable (MUX fallback). The
+    // builder expands the MUX into the AND/OR alphabet.
+    ++stats_.mux_steps;
+    const Signal sel = leaves_[static_cast<std::size_t>(top_var)];
+    const Signal hi = decompose_edge(mgr_.edge_then(e));
+    const Signal lo = decompose_edge(mgr_.edge_else(e));
+    return builder_.build_mux(sel, hi, lo);
+}
+
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,77 @@
+#pragma once
+// The BDD decomposition engine (paper SIV-B): recursively decomposes a BDD
+// into a factoring tree emitted through the hash-consing network builder
+// (on-line logic sharing, SIV-C).
+//
+// Stage order per function, following the paper:
+//   0. constants / literals terminate the recursion;
+//   1. majority decomposition "on the top of the dominator nodes search" —
+//      tried first, accepted only when globally advantageous (k_global);
+//   2. simple dominators (1-, 0-, x-) -> disjoint AND / OR / XOR;
+//   3. generalized (non-disjoint) XOR split when it shrinks both parts;
+//   4. Shannon cofactoring on the top variable (MUX) as last resort.
+//
+// Setting `use_majority = false` removes stage 1 and yields the BDS-PGA
+// baseline the paper compares against in Table I.
+
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "decomp/maj_decomp.hpp"
+#include "network/builder.hpp"
+
+namespace bdsmaj::decomp {
+
+struct EngineParams {
+    bool use_majority = true;  ///< false => BDS-PGA baseline
+    MajDecompParams maj;
+    /// Simple-dominator candidates scored for balance (top-k shortlist).
+    int max_simple_candidates = 4;
+    /// Accept a generalized XOR split only if both parts are smaller than
+    /// the function by this factor.
+    double xor_acceptance_factor = 1.0;
+};
+
+/// Counts of applied decompositions, one increment per recursion step.
+struct EngineStats {
+    int and_steps = 0;
+    int or_steps = 0;
+    int xor_steps = 0;
+    int maj_steps = 0;
+    int mux_steps = 0;
+    int maj_attempts = 0;   ///< majority decompositions evaluated
+    int maj_rejected = 0;   ///< failed the global advantage gate
+    int literal_leaves = 0;
+
+    EngineStats& operator+=(const EngineStats& o);
+};
+
+/// Decomposes functions of one BDD manager into gates over leaf signals.
+/// Leaf signal i corresponds to manager variable i. The memoization across
+/// calls realizes BDD-level sharing inside a supernode.
+class BddDecomposer {
+public:
+    BddDecomposer(bdd::Manager& mgr, net::HashedNetworkBuilder& builder,
+                  std::vector<net::Signal> leaves, EngineParams params = {});
+
+    /// Decompose `f` and return the signal computing it.
+    [[nodiscard]] net::Signal decompose(const bdd::Bdd& f);
+
+    [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+private:
+    net::Signal decompose_edge(bdd::Edge e);
+    net::Signal decompose_regular(bdd::Edge e);
+
+    bdd::Manager& mgr_;
+    net::HashedNetworkBuilder& builder_;
+    std::vector<net::Signal> leaves_;
+    EngineParams params_;
+    EngineStats stats_;
+    std::unordered_map<bdd::Edge, net::Signal> memo_;  // regular edges only
+    /// Keeps every memoized function referenced: a bare Edge key would dangle
+    /// once garbage collection reuses its node slot for a different function.
+    std::vector<bdd::Bdd> memo_pins_;
+};
+
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,126 @@
+#include "decomp/flow.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <unordered_map>
+
+#include "network/cleanup.hpp"
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using bdd::Bdd;
+using net::Network;
+using net::NodeId;
+using net::Signal;
+
+/// Build the local BDD of a supernode: leaves become manager variables in
+/// order, cone nodes evaluate bottom-up.
+Bdd build_supernode_bdd(bdd::Manager& mgr, const Network& network,
+                        const Supernode& sn) {
+    std::unordered_map<NodeId, Bdd> value;
+    for (std::size_t i = 0; i < sn.leaves.size(); ++i) {
+        value.emplace(sn.leaves[i], mgr.var_bdd(static_cast<int>(i)));
+    }
+    for (const NodeId id : sn.cone) {
+        const net::Node& n = network.node(id);
+        const auto in = [&](std::size_t k) -> const Bdd& {
+            return value.at(n.fanins[k]);
+        };
+        Bdd result;
+        switch (n.kind) {
+            case net::GateKind::kInput:
+                assert(false && "inputs cannot be cone-internal");
+                result = mgr.zero();
+                break;
+            case net::GateKind::kConst0: result = mgr.zero(); break;
+            case net::GateKind::kConst1: result = mgr.one(); break;
+            case net::GateKind::kBuf: result = in(0); break;
+            case net::GateKind::kNot: result = !in(0); break;
+            case net::GateKind::kAnd: result = mgr.apply_and(in(0), in(1)); break;
+            case net::GateKind::kOr: result = mgr.apply_or(in(0), in(1)); break;
+            case net::GateKind::kNand: result = !mgr.apply_and(in(0), in(1)); break;
+            case net::GateKind::kNor: result = !mgr.apply_or(in(0), in(1)); break;
+            case net::GateKind::kXor: result = mgr.apply_xor(in(0), in(1)); break;
+            case net::GateKind::kXnor: result = mgr.apply_xnor(in(0), in(1)); break;
+            case net::GateKind::kMaj: result = mgr.maj(in(0), in(1), in(2)); break;
+            case net::GateKind::kMux: result = mgr.ite(in(0), in(1), in(2)); break;
+            case net::GateKind::kSop: {
+                Bdd acc = mgr.zero();
+                for (const net::Cube& cube : n.sop.cubes()) {
+                    Bdd term = mgr.one();
+                    for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+                        if (cube.lits[i] == net::Lit::kDash) continue;
+                        term = mgr.apply_and(
+                            term, cube.lits[i] == net::Lit::kPos ? in(i) : !in(i));
+                    }
+                    acc = mgr.apply_or(acc, term);
+                }
+                result = std::move(acc);
+                break;
+            }
+        }
+        value.insert_or_assign(id, std::move(result));
+    }
+    return value.at(sn.root);
+}
+
+}  // namespace
+
+DecompFlowResult decompose_network(const Network& input, const DecompFlowParams& params) {
+    const auto start = std::chrono::steady_clock::now();
+
+    const std::vector<Supernode> supernodes =
+        partition_network(input, params.partition);
+
+    Network out(input.model_name());
+    net::HashedNetworkBuilder builder(out);
+    std::vector<Signal> signal_of(input.node_count(), Signal{});
+
+    for (const NodeId id : input.inputs()) {
+        signal_of[id] = Signal{out.add_input(input.node(id).name), false};
+    }
+
+    DecompFlowResult result;
+    for (const Supernode& sn : supernodes) {
+        // Fresh local manager per supernode: the BDS local-BDD policy.
+        bdd::Manager mgr(static_cast<int>(sn.leaves.size()));
+        const Bdd f = build_supernode_bdd(mgr, input, sn);
+        if (params.reorder) mgr.sift();
+
+        std::vector<Signal> leaves;
+        leaves.reserve(sn.leaves.size());
+        // Variable i of the local manager is leaf i; sifting changes levels
+        // but never variable identities, so this binding survives reorder.
+        for (const NodeId leaf : sn.leaves) leaves.push_back(signal_of[leaf]);
+
+        BddDecomposer decomposer(mgr, builder, std::move(leaves), params.engine);
+        signal_of[sn.root] = decomposer.decompose(f);
+        result.engine_stats += decomposer.stats();
+    }
+
+    for (const net::OutputPort& po : input.outputs()) {
+        out.add_output(po.name, builder.realize(signal_of[po.driver]));
+    }
+
+    result.supernode_count = static_cast<int>(supernodes.size());
+    result.network = params.final_cleanup ? net::cleanup(out) : std::move(out);
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+DecompFlowResult run_bdsmaj(const Network& input) {
+    DecompFlowParams params;
+    params.engine.use_majority = true;
+    return decompose_network(input, params);
+}
+
+DecompFlowResult run_bdspga(const Network& input) {
+    DecompFlowParams params;
+    params.engine.use_majority = false;
+    return decompose_network(input, params);
+}
+
+}  // namespace bdsmaj::decomp

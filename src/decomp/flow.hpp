@@ -1,0 +1,42 @@
+#pragma once
+// The complete BDS-MAJ logic decomposition flow (paper Fig. 3):
+//   input network -> partition into supernodes -> per-supernode local BDD
+//   (with sifting reorder) -> dominator/majority-driven decomposition ->
+//   factoring trees with on-line sharing -> cleaned decomposed network.
+//
+// `use_majority = false` gives the BDS-PGA baseline of Table I.
+
+#include <string>
+
+#include "decomp/engine.hpp"
+#include "decomp/partition.hpp"
+#include "network/network.hpp"
+
+namespace bdsmaj::decomp {
+
+struct DecompFlowParams {
+    EngineParams engine;
+    PartitionParams partition;
+    /// Sift each supernode's local BDD before decomposing (paper SIV-B).
+    bool reorder = true;
+    /// Run structural cleanup on the result.
+    bool final_cleanup = true;
+};
+
+struct DecompFlowResult {
+    net::Network network;
+    EngineStats engine_stats;
+    int supernode_count = 0;
+    double seconds = 0.0;
+};
+
+/// Decompose `input` with the BDS-MAJ engine. The result is functionally
+/// equivalent to the input (tests enforce it on every benchmark).
+[[nodiscard]] DecompFlowResult decompose_network(const net::Network& input,
+                                                 const DecompFlowParams& params = {});
+
+/// Convenience wrappers for the two Table I configurations.
+[[nodiscard]] DecompFlowResult run_bdsmaj(const net::Network& input);
+[[nodiscard]] DecompFlowResult run_bdspga(const net::Network& input);
+
+}  // namespace bdsmaj::decomp

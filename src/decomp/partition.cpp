@@ -1,0 +1,121 @@
+#include "decomp/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using net::Network;
+using net::NodeId;
+
+}  // namespace
+
+std::vector<Supernode> partition_network(const Network& network,
+                                         const PartitionParams& params) {
+    const std::vector<NodeId> topo = network.topo_order();
+    const std::vector<std::uint32_t> fanout = network.fanout_counts();
+
+    // Output drivers are always cut points.
+    std::vector<bool> is_po_driver(network.node_count(), false);
+    for (const net::OutputPort& po : network.outputs()) is_po_driver[po.driver] = true;
+
+    // leaves_of[n]: leaf support of the cone currently collapsed into n.
+    std::vector<std::vector<NodeId>> leaves_of(network.node_count());
+    std::vector<bool> is_cut(network.node_count(), false);
+
+    auto merged_leaves = [&](const net::Node& node) {
+        std::vector<NodeId> merged;
+        for (const NodeId f : node.fanins) {
+            const std::vector<NodeId>& add =
+                is_cut[f] ? std::vector<NodeId>{f} : leaves_of[f];
+            for (const NodeId leaf : add) {
+                if (std::find(merged.begin(), merged.end(), leaf) == merged.end()) {
+                    merged.push_back(leaf);
+                }
+            }
+        }
+        return merged;
+    };
+
+    // Duplicated-gate count of each node's collapsed cone (absorbed fanins
+    // included, duplicates counted).
+    std::vector<std::uint32_t> cone_gates(network.node_count(), 0);
+
+    for (const NodeId id : topo) {
+        const net::Node& node = network.node(id);
+        if (node.kind == net::GateKind::kInput) {
+            is_cut[id] = true;
+            continue;
+        }
+        // Decide for each fanin whether it stays absorbed: single-fanout
+        // cones always collapse; small multi-fanout cones may be duplicated
+        // (the eliminate value heuristic); everything else becomes a cut.
+        for (const NodeId f : node.fanins) {
+            if (is_cut[f]) continue;
+            const bool absorb =
+                fanout[f] == 1 || (fanout[f] <= params.max_absorbed_fanout &&
+                                   cone_gates[f] <= params.max_duplicated_gates);
+            if (!absorb) is_cut[f] = true;
+        }
+        std::vector<NodeId> merged = merged_leaves(node);
+        if (merged.size() > params.max_leaves) {
+            // Too wide: cut the largest contributors until within bounds.
+            std::vector<NodeId> fanins_by_support(node.fanins.begin(), node.fanins.end());
+            std::sort(fanins_by_support.begin(), fanins_by_support.end(),
+                      [&](NodeId a, NodeId b) {
+                          const std::size_t sa = is_cut[a] ? 1 : leaves_of[a].size();
+                          const std::size_t sb = is_cut[b] ? 1 : leaves_of[b].size();
+                          return sa > sb;
+                      });
+            for (const NodeId f : fanins_by_support) {
+                if (merged.size() <= params.max_leaves) break;
+                if (is_cut[f]) continue;
+                is_cut[f] = true;
+                merged = merged_leaves(node);
+            }
+        }
+        leaves_of[id] = std::move(merged);
+        cone_gates[id] = 1;
+        for (const NodeId f : node.fanins) {
+            if (!is_cut[f]) cone_gates[id] += cone_gates[f];
+        }
+        if (is_po_driver[id]) is_cut[id] = true;
+    }
+
+    // Build supernodes rooted at cut points, in topological order.
+    std::vector<Supernode> supernodes;
+    for (const NodeId id : topo) {
+        const net::Node& node = network.node(id);
+        if (node.kind == net::GateKind::kInput || !is_cut[id]) continue;
+        Supernode sn;
+        sn.root = id;
+        sn.leaves = leaves_of[id];
+        // Collect the internal cone between the root and its leaves.
+        std::unordered_set<NodeId> leaf_set(sn.leaves.begin(), sn.leaves.end());
+        std::unordered_set<NodeId> visited;
+        std::vector<NodeId> stack{id};
+        std::vector<NodeId> cone_unordered;
+        visited.insert(id);
+        while (!stack.empty()) {
+            const NodeId v = stack.back();
+            stack.pop_back();
+            cone_unordered.push_back(v);
+            for (const NodeId f : network.node(v).fanins) {
+                if (leaf_set.contains(f) || visited.contains(f)) continue;
+                visited.insert(f);
+                stack.push_back(f);
+            }
+        }
+        // Topological order within the cone = ascending id (construction
+        // invariant of Network).
+        std::sort(cone_unordered.begin(), cone_unordered.end());
+        sn.cone = std::move(cone_unordered);
+        supernodes.push_back(std::move(sn));
+    }
+    return supernodes;
+}
+
+}  // namespace bdsmaj::decomp

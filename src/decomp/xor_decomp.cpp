@@ -1,0 +1,78 @@
+#include "decomp/xor_decomp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "decomp/dominators.hpp"
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+struct ScoredSplit {
+    XorSplit split;
+    std::size_t max_part = 0;
+    std::size_t total = 0;
+};
+
+ScoredSplit score(Manager& mgr, Bdd m, Bdd k, bool trivial) {
+    ScoredSplit s;
+    const std::size_t sm = mgr.dag_size(m);
+    const std::size_t sk = mgr.dag_size(k);
+    s.max_part = std::max(sm, sk);
+    s.total = sm + sk;
+    s.split = XorSplit{std::move(m), std::move(k), trivial};
+    return s;
+}
+
+bool better(const ScoredSplit& a, const ScoredSplit& b) {
+    if (a.max_part != b.max_part) return a.max_part < b.max_part;
+    return a.total < b.total;
+}
+
+}  // namespace
+
+XorSplit xor_decompose(Manager& mgr, const Bdd& fx, const XorDecompParams& params) {
+    const std::size_t fx_size = mgr.dag_size(fx);
+    ScoredSplit best = score(mgr, fx, mgr.zero(), /*trivial=*/true);
+
+    if (fx.is_constant()) return best.split;
+
+    // 1. x-dominator splits: Fx = F_{v->0} XOR Fv (verified in the
+    //    analysis), the BDS disjoint XOR decomposition.
+    DominatorAnalysis analysis(mgr, fx);
+    for (const NodeDomInfo& info : analysis.nodes()) {
+        if (!info.is_x_dominator) continue;
+        SimpleDecomposition d =
+            analysis.decompose_at(info, SimpleDecomposition::Op::kXor);
+        ScoredSplit s = score(mgr, std::move(d.quotient), std::move(d.divisor),
+                              /*trivial=*/false);
+        if (s.total <= static_cast<std::size_t>(
+                           params.max_growth * static_cast<double>(fx_size)) &&
+            better(s, best)) {
+            best = std::move(s);
+        }
+    }
+
+    // 2. Single-variable fallback: Fx = x XOR (Fx XOR x).
+    int tried = 0;
+    for (const int var : mgr.support_vars(fx)) {
+        if (tried++ >= params.max_var_candidates) break;
+        const Bdd x = mgr.var_bdd(var);
+        Bdd m = mgr.apply_xor(fx, x);
+        ScoredSplit s = score(mgr, std::move(m), x, /*trivial=*/false);
+        if (s.total <= static_cast<std::size_t>(
+                           params.max_growth * static_cast<double>(fx_size)) &&
+            better(s, best)) {
+            best = std::move(s);
+        }
+    }
+
+    assert(mgr.apply_xor(best.split.m, best.split.k) == fx);
+    return best.split;
+}
+
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,39 @@
+#pragma once
+// Balanced XOR decomposition on BDDs: given Fx, find M and K with
+// Fx = M XOR K and |M| ~ |K|.
+//
+// This is the core the paper's (γ)-phase borrows from BDS ("BDD-based XOR
+// decomposition methods in [10] offer an efficient opportunity to compute
+// balanced M and K functions", SIII-D). The search order is:
+//   1. every verified x-dominator of Fx (each yields Fx = F_{v->0} ^ Fv);
+//   2. single-variable splits Fx = x ^ (Fx ^ x) over the support;
+//   3. the trivial split (Fx, 0).
+// Among valid splits the most balanced one (smallest max component, ties
+// by total size) wins.
+
+#include "bdd/bdd.hpp"
+
+namespace bdsmaj::decomp {
+
+struct XorSplit {
+    bdd::Bdd m;
+    bdd::Bdd k;
+    /// True when the split is the trivial (Fx, 0).
+    bool trivial = false;
+};
+
+struct XorDecompParams {
+    /// Cap on single-variable fallback candidates (support can be large).
+    int max_var_candidates = 8;
+    /// Reject non-trivial splits whose total size exceeds this multiple of
+    /// |Fx| (guards against var-splits that blow up M).
+    double max_growth = 2.0;
+};
+
+/// Decompose `fx` into a balanced XOR pair. Always succeeds: the trivial
+/// split is returned when nothing better exists. Postcondition:
+/// m XOR k == fx.
+[[nodiscard]] XorSplit xor_decompose(bdd::Manager& mgr, const bdd::Bdd& fx,
+                                     const XorDecompParams& params = {});
+
+}  // namespace bdsmaj::decomp

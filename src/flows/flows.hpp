@@ -1,0 +1,40 @@
+#pragma once
+// The four synthesis flows compared in Table II, each from input network to
+// mapped netlist over the same CMOS 22 nm cell library:
+//
+//   * BDS-MAJ : partition -> BDD decomposition with majority (this paper)
+//               -> direct MAJ/XOR/XNOR cell assignment + NAND/NOR/INV cover
+//   * BDS-PGA : same engine without the majority stage (Table I baseline)
+//   * ABC     : AIG + resyn2-style script + motif-detecting mapper
+//   * DC      : commercial-style proxy — best-of multiple recipes at high
+//               area effort (see DESIGN.md §4 for the substitution rationale)
+
+#include <string>
+
+#include "decomp/flow.hpp"
+#include "mapping/mapper.hpp"
+#include "network/network.hpp"
+
+namespace bdsmaj::flows {
+
+struct SynthesisResult {
+    std::string flow_name;
+    net::Network optimized;           ///< technology-independent result
+    net::NetworkStats optimized_stats;
+    mapping::MappedResult mapped;
+    double optimize_seconds = 0.0;
+    decomp::EngineStats engine_stats;  ///< BDS flows only
+};
+
+/// The library shared by all flows (paper SV-B1).
+[[nodiscard]] const mapping::CellLibrary& default_library();
+
+[[nodiscard]] SynthesisResult flow_bdsmaj(const net::Network& input);
+[[nodiscard]] SynthesisResult flow_bdspga(const net::Network& input);
+[[nodiscard]] SynthesisResult flow_abc(const net::Network& input);
+[[nodiscard]] SynthesisResult flow_dc(const net::Network& input);
+
+/// All four, in Table II column order.
+[[nodiscard]] std::vector<SynthesisResult> run_all_flows(const net::Network& input);
+
+}  // namespace bdsmaj::flows

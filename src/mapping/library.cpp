@@ -1,0 +1,38 @@
+#include "mapping/library.hpp"
+
+#include <stdexcept>
+
+namespace bdsmaj::mapping {
+
+CellLibrary CellLibrary::cmos22nm() {
+    // Transistor counts: static CMOS. Areas scale with transistor count at
+    // ~0.0325 um^2/T (22 nm standard-cell density); intrinsic delays follow
+    // stack depth, slopes follow output drive.
+    CellLibrary lib;
+    lib.add_cell({"INV", net::GateKind::kNot, 2, 0.065, 0.008, 0.0030});
+    lib.add_cell({"NAND2", net::GateKind::kNand, 4, 0.130, 0.012, 0.0035});
+    lib.add_cell({"NOR2", net::GateKind::kNor, 4, 0.130, 0.014, 0.0040});
+    lib.add_cell({"XOR2", net::GateKind::kXor, 8, 0.260, 0.022, 0.0045});
+    lib.add_cell({"XNOR2", net::GateKind::kXnor, 8, 0.260, 0.022, 0.0045});
+    lib.add_cell({"MAJ3", net::GateKind::kMaj, 10, 0.325, 0.025, 0.0050});
+    return lib;
+}
+
+void CellLibrary::add_cell(Cell cell) { cells_.push_back(std::move(cell)); }
+
+const Cell& CellLibrary::cell_for(net::GateKind kind) const {
+    for (const Cell& c : cells_) {
+        if (c.kind == kind) return c;
+    }
+    throw std::out_of_range(std::string("no cell for gate kind ") +
+                            net::gate_kind_name(kind));
+}
+
+bool CellLibrary::has_cell_for(net::GateKind kind) const {
+    for (const Cell& c : cells_) {
+        if (c.kind == kind) return true;
+    }
+    return false;
+}
+
+}  // namespace bdsmaj::mapping

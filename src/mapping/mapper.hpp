@@ -1,0 +1,38 @@
+#pragma once
+// Technology mapping onto the six-cell library (paper SV-B1).
+//
+// The two-step policy of the paper:
+//   1. MAJ / XOR / XNOR nodes are assigned to their cells directly, so the
+//      structure highlighted by the decomposition is preserved rather than
+//      re-hidden by a generic mapper;
+//   2. the remaining AND/OR logic is covered with NAND2/NOR2/INV using
+//      polarity-aware construction (bubble pushing): each signal carries a
+//      pending complement and an inverter cell is emitted only when a
+//      polarity must be materialized, with AND/OR freely re-expressed as
+//      NAND/NOR of complemented operands to absorb bubbles.
+//
+// The mapped netlist is a Network restricted to library gate kinds (plus
+// inputs/constants), so simulation-based equivalence against the source
+// network works unchanged.
+
+#include "mapping/library.hpp"
+#include "network/network.hpp"
+
+namespace bdsmaj::mapping {
+
+struct MappedResult {
+    net::Network netlist;
+    double area_um2 = 0.0;
+    int gate_count = 0;
+    double delay_ns = 0.0;
+};
+
+/// Map `network` (any mix of structured gates and SOP nodes) onto `lib`.
+[[nodiscard]] MappedResult map_network(const net::Network& network,
+                                       const CellLibrary& lib);
+
+/// Area/gate-count/delay of an already-mapped netlist.
+[[nodiscard]] MappedResult evaluate_netlist(net::Network netlist,
+                                            const CellLibrary& lib);
+
+}  // namespace bdsmaj::mapping

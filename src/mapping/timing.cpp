@@ -1,0 +1,37 @@
+#include "mapping/timing.hpp"
+
+#include <algorithm>
+
+namespace bdsmaj::mapping {
+
+std::vector<double> arrival_times_ns(const net::Network& netlist,
+                                     const CellLibrary& lib) {
+    const std::vector<std::uint32_t> fanout = netlist.fanout_counts();
+    std::vector<double> arrival(netlist.node_count(), 0.0);
+    for (const net::NodeId id : netlist.topo_order()) {
+        const net::Node& n = netlist.node(id);
+        double input_time = 0.0;
+        for (const net::NodeId f : n.fanins) {
+            input_time = std::max(input_time, arrival[f]);
+        }
+        double gate_delay = 0.0;
+        if (lib.has_cell_for(n.kind)) {
+            const Cell& cell = lib.cell_for(n.kind);
+            gate_delay = cell.intrinsic_ns +
+                         cell.slope_ns * static_cast<double>(fanout[id]);
+        }
+        arrival[id] = input_time + gate_delay;
+    }
+    return arrival;
+}
+
+double critical_path_ns(const net::Network& netlist, const CellLibrary& lib) {
+    const std::vector<double> arrival = arrival_times_ns(netlist, lib);
+    double worst = 0.0;
+    for (const net::OutputPort& po : netlist.outputs()) {
+        worst = std::max(worst, arrival[po.driver]);
+    }
+    return worst;
+}
+
+}  // namespace bdsmaj::mapping

@@ -1,0 +1,19 @@
+#pragma once
+// Static timing analysis over mapped netlists with the linear load model
+// delay(cell, fanout) = intrinsic + slope * fanout_count.
+
+#include "mapping/library.hpp"
+#include "network/network.hpp"
+
+namespace bdsmaj::mapping {
+
+/// Critical-path delay in ns. Inputs arrive at t = 0; unmapped kinds
+/// (inputs, constants, buffers) contribute zero delay.
+[[nodiscard]] double critical_path_ns(const net::Network& netlist,
+                                      const CellLibrary& lib);
+
+/// Per-node arrival times (ns), indexed by NodeId.
+[[nodiscard]] std::vector<double> arrival_times_ns(const net::Network& netlist,
+                                                   const CellLibrary& lib);
+
+}  // namespace bdsmaj::mapping

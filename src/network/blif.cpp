@@ -1,0 +1,243 @@
+#include "network/blif.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bdsmaj::net {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token) tokens.push_back(token);
+    return tokens;
+}
+
+/// Logical lines: '\' continuations joined, comments ('#') stripped.
+std::vector<std::string> logical_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string current;
+    std::istringstream is(text);
+    std::string raw;
+    while (std::getline(is, raw)) {
+        if (const auto hash = raw.find('#'); hash != std::string::npos) {
+            raw.erase(hash);
+        }
+        while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' || raw.back() == '\t')) {
+            raw.pop_back();
+        }
+        if (!raw.empty() && raw.back() == '\\') {
+            raw.pop_back();
+            current += raw;
+            current += ' ';
+            continue;
+        }
+        current += raw;
+        if (!current.empty()) lines.push_back(current);
+        current.clear();
+    }
+    if (!current.empty()) lines.push_back(current);
+    return lines;
+}
+
+struct PendingNames {
+    std::vector<std::string> signals;  // fanin names + output name last
+    std::vector<std::pair<std::string, char>> cubes;  // pattern -> output value
+};
+
+}  // namespace
+
+Network parse_blif(const std::string& text) {
+    Network network;
+    std::unordered_map<std::string, NodeId> by_name;
+    std::vector<PendingNames> pending;
+    PendingNames* open_block = nullptr;
+    std::vector<std::string> output_names;
+    bool saw_model = false;
+
+    for (const std::string& line : logical_lines(text)) {
+        const std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string& head = tokens.front();
+        if (head[0] == '.') {
+            open_block = nullptr;
+            if (head == ".model") {
+                if (saw_model) throw std::runtime_error("blif: multiple .model");
+                saw_model = true;
+                if (tokens.size() > 1) network.set_model_name(tokens[1]);
+            } else if (head == ".inputs") {
+                for (std::size_t i = 1; i < tokens.size(); ++i) {
+                    by_name[tokens[i]] = network.add_input(tokens[i]);
+                }
+            } else if (head == ".outputs") {
+                output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+            } else if (head == ".names") {
+                pending.emplace_back();
+                pending.back().signals.assign(tokens.begin() + 1, tokens.end());
+                if (pending.back().signals.empty()) {
+                    throw std::runtime_error("blif: .names without signals");
+                }
+                open_block = &pending.back();
+            } else if (head == ".end") {
+                break;
+            } else if (head == ".latch" || head == ".subckt" || head == ".gate" ||
+                       head == ".mlatch") {
+                throw std::runtime_error("blif: sequential/hierarchical construct " +
+                                         head + " not supported");
+            }
+            // Other dot-directives (.default_input_arrival etc.) are ignored.
+            continue;
+        }
+        if (open_block == nullptr) {
+            throw std::runtime_error("blif: cube line outside .names: " + line);
+        }
+        if (open_block->signals.size() == 1) {
+            // Constant node: the line is just the output value.
+            if (tokens.size() != 1 || (tokens[0] != "1" && tokens[0] != "0")) {
+                throw std::runtime_error("blif: bad constant line: " + line);
+            }
+            open_block->cubes.emplace_back("", tokens[0][0]);
+        } else {
+            if (tokens.size() != 2 || tokens[1].size() != 1) {
+                throw std::runtime_error("blif: bad cube line: " + line);
+            }
+            open_block->cubes.emplace_back(tokens[0], tokens[1][0]);
+        }
+    }
+
+    // Materialize .names blocks in dependency order; blocks may reference
+    // later blocks, so iterate until all are placed.
+    std::vector<bool> placed(pending.size(), false);
+    std::size_t remaining = pending.size();
+    bool progress = true;
+    while (remaining > 0 && progress) {
+        progress = false;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (placed[i]) continue;
+            const PendingNames& block = pending[i];
+            bool ready = true;
+            for (std::size_t s = 0; s + 1 < block.signals.size(); ++s) {
+                if (!by_name.contains(block.signals[s])) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) continue;
+            const std::size_t arity = block.signals.size() - 1;
+            std::vector<NodeId> fanins;
+            fanins.reserve(arity);
+            for (std::size_t s = 0; s < arity; ++s) fanins.push_back(by_name[block.signals[s]]);
+
+            // BLIF covers may be written in the off-set phase (output 0):
+            // build the on-set, complementing if needed.
+            char phase = '1';
+            for (const auto& [pattern, value] : block.cubes) phase = value;
+            Sop cover(arity);
+            for (const auto& [pattern, value] : block.cubes) {
+                if (value != phase) {
+                    throw std::runtime_error("blif: mixed-phase cover for " +
+                                             block.signals.back());
+                }
+                if (arity == 0) {
+                    cover = Sop::constant(true, 0);
+                } else {
+                    cover.add_pattern(pattern);
+                }
+            }
+            NodeId id;
+            if (block.cubes.empty()) {
+                id = network.add_constant(false);
+            } else if (phase == '0') {
+                // Off-set cover: on-set = complement.
+                const tt::TruthTable on = ~cover.to_truth_table();
+                id = network.add_sop(fanins, Sop::isop(on), block.signals.back());
+            } else {
+                id = network.add_sop(fanins, std::move(cover), block.signals.back());
+            }
+            network.node(id).name = block.signals.back();
+            by_name[block.signals.back()] = id;
+            placed[i] = true;
+            --remaining;
+            progress = true;
+        }
+    }
+    if (remaining > 0) {
+        throw std::runtime_error("blif: unresolved signal dependencies (cycle or typo)");
+    }
+
+    for (const std::string& name : output_names) {
+        const auto it = by_name.find(name);
+        if (it == by_name.end()) {
+            throw std::runtime_error("blif: undriven output " + name);
+        }
+        network.add_output(name, it->second);
+    }
+    return network;
+}
+
+std::string write_blif(const Network& network) {
+    std::ostringstream os;
+    os << ".model " << network.model_name() << "\n.inputs";
+    for (const NodeId id : network.inputs()) os << ' ' << network.node_name(id);
+    os << "\n.outputs";
+    for (const OutputPort& po : network.outputs()) os << ' ' << po.name;
+    os << '\n';
+
+    // Emit every non-input node as a .names block over its fanins.
+    auto emit_cover = [&](const Node& n, const std::string& out_name) {
+        os << ".names";
+        for (const NodeId f : n.fanins) os << ' ' << network.node_name(f);
+        os << ' ' << out_name << '\n';
+        switch (n.kind) {
+            case GateKind::kConst0: break;  // empty cover = 0
+            case GateKind::kConst1: os << "1\n"; break;
+            case GateKind::kBuf: os << "1 1\n"; break;
+            case GateKind::kNot: os << "0 1\n"; break;
+            case GateKind::kAnd: os << "11 1\n"; break;
+            case GateKind::kOr: os << "1- 1\n-1 1\n"; break;
+            case GateKind::kNand: os << "0- 1\n-0 1\n"; break;
+            case GateKind::kNor: os << "00 1\n"; break;
+            case GateKind::kXor: os << "10 1\n01 1\n"; break;
+            case GateKind::kXnor: os << "11 1\n00 1\n"; break;
+            case GateKind::kMaj: os << "11- 1\n1-1 1\n-11 1\n"; break;
+            case GateKind::kMux: os << "11- 1\n0-1 1\n"; break;
+            case GateKind::kSop: os << n.sop.to_blif_body(); break;
+            case GateKind::kInput: break;
+        }
+    };
+
+    for (const NodeId id : network.topo_order()) {
+        const Node& n = network.node(id);
+        if (n.kind == GateKind::kInput) continue;
+        emit_cover(n, network.node_name(id));
+    }
+    // Output ports whose name differs from the driver need a buffer block.
+    for (const OutputPort& po : network.outputs()) {
+        if (network.node_name(po.driver) != po.name) {
+            os << ".names " << network.node_name(po.driver) << ' ' << po.name
+               << "\n1 1\n";
+        }
+    }
+    os << ".end\n";
+    return os.str();
+}
+
+Network read_blif_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_blif(ss.str());
+}
+
+void write_blif_file(const Network& network, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << write_blif(network);
+}
+
+}  // namespace bdsmaj::net

@@ -1,0 +1,24 @@
+#pragma once
+// BLIF reader/writer for combinational networks (.model/.inputs/.outputs/
+// .names/.end, with '\' line continuations). This is the interchange format
+// of the MCNC benchmark suite the paper evaluates on.
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace bdsmaj::net {
+
+/// Parse a BLIF document. Only combinational constructs are accepted;
+/// `.latch`, `.subckt` and `.gate` raise std::runtime_error.
+[[nodiscard]] Network parse_blif(const std::string& text);
+
+/// Serialize to BLIF. Structured gates are emitted as equivalent `.names`
+/// covers so any BLIF consumer can read the result.
+[[nodiscard]] std::string write_blif(const Network& network);
+
+/// File helpers.
+[[nodiscard]] Network read_blif_file(const std::string& path);
+void write_blif_file(const Network& network, const std::string& path);
+
+}  // namespace bdsmaj::net

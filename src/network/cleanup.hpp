@@ -1,0 +1,14 @@
+#pragma once
+// Structural network cleanup: constant propagation, inverter-pair and
+// buffer elimination, structural hashing of identical gates, and dead-node
+// sweep. Every flow runs this after restructuring so that Table I node
+// counts measure logic, not construction debris.
+
+#include "network/network.hpp"
+
+namespace bdsmaj::net {
+
+/// Rebuild the network applying local simplification rules until none fire.
+[[nodiscard]] Network cleanup(const Network& in);
+
+}  // namespace bdsmaj::net

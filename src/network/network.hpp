@@ -1,0 +1,136 @@
+#pragma once
+// Combinational Boolean logic network: the BLIF-level representation that
+// the synthesis flows consume and produce. A node is either a primary
+// input, a constant, a structured gate (AND/OR/XOR/XNOR/MAJ/MUX/NOT/BUF),
+// or an arbitrary single-output SOP (a `.names` block). Primary outputs
+// are named references to driver nodes.
+//
+// Structured gate kinds exist because the paper's flows exchange networks
+// whose nodes are decomposition results (factoring-tree operators) and
+// because Table I reports per-operator node counts.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "network/sop.hpp"
+
+namespace bdsmaj::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = 0xffffffffu;
+
+enum class GateKind : std::uint8_t {
+    kInput,
+    kConst0,
+    kConst1,
+    kBuf,   // 1 fanin
+    kNot,   // 1 fanin
+    kAnd,   // 2 fanins
+    kOr,    // 2 fanins
+    kNand,  // 2 fanins
+    kNor,   // 2 fanins
+    kXor,   // 2 fanins
+    kXnor,  // 2 fanins
+    kMaj,   // 3 fanins
+    kMux,   // 3 fanins: (select, then, else)
+    kSop,   // n fanins with an attached cover
+};
+
+[[nodiscard]] const char* gate_kind_name(GateKind kind);
+[[nodiscard]] int gate_kind_arity(GateKind kind);  // -1 for kSop
+
+struct Node {
+    GateKind kind = GateKind::kInput;
+    std::vector<NodeId> fanins;
+    Sop sop;           // meaningful only for kSop
+    std::string name;  // optional; auto-generated on output when empty
+};
+
+struct OutputPort {
+    std::string name;
+    NodeId driver = kNoNode;
+};
+
+/// Aggregate per-operator counts: the unit of comparison in Table I.
+struct NetworkStats {
+    int inputs = 0;
+    int outputs = 0;
+    int and_nodes = 0;
+    int or_nodes = 0;
+    int xor_nodes = 0;
+    int xnor_nodes = 0;
+    int maj_nodes = 0;
+    int mux_nodes = 0;
+    int not_nodes = 0;
+    int sop_nodes = 0;
+    int other_nodes = 0;  // buf/const
+    /// Total decomposition node count in the paper's sense: every logic
+    /// operator node (inverters and buffers excluded, as in BDS).
+    [[nodiscard]] int total() const {
+        return and_nodes + or_nodes + xor_nodes + xnor_nodes + maj_nodes +
+               mux_nodes + sop_nodes;
+    }
+};
+
+class Network {
+public:
+    Network() = default;
+    explicit Network(std::string model_name) : model_name_(std::move(model_name)) {}
+
+    // ---- Construction -----------------------------------------------------
+    NodeId add_input(const std::string& name);
+    NodeId add_constant(bool value);
+    NodeId add_gate(GateKind kind, const std::vector<NodeId>& fanins,
+                    const std::string& name = {});
+    NodeId add_sop(const std::vector<NodeId>& fanins, Sop sop,
+                   const std::string& name = {});
+    void add_output(const std::string& name, NodeId driver);
+
+    // Convenience binary/unary builders.
+    NodeId add_and(NodeId a, NodeId b) { return add_gate(GateKind::kAnd, {a, b}); }
+    NodeId add_or(NodeId a, NodeId b) { return add_gate(GateKind::kOr, {a, b}); }
+    NodeId add_xor(NodeId a, NodeId b) { return add_gate(GateKind::kXor, {a, b}); }
+    NodeId add_xnor(NodeId a, NodeId b) { return add_gate(GateKind::kXnor, {a, b}); }
+    NodeId add_not(NodeId a) { return add_gate(GateKind::kNot, {a}); }
+    NodeId add_maj(NodeId a, NodeId b, NodeId c) {
+        return add_gate(GateKind::kMaj, {a, b, c});
+    }
+    NodeId add_mux(NodeId sel, NodeId then_in, NodeId else_in) {
+        return add_gate(GateKind::kMux, {sel, then_in, else_in});
+    }
+
+    // ---- Access ------------------------------------------------------------
+    [[nodiscard]] const std::string& model_name() const noexcept { return model_name_; }
+    void set_model_name(std::string name) { model_name_ = std::move(name); }
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+    [[nodiscard]] Node& node(NodeId id) { return nodes_.at(id); }
+    [[nodiscard]] const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
+    [[nodiscard]] const std::vector<OutputPort>& outputs() const noexcept { return outputs_; }
+    [[nodiscard]] std::vector<OutputPort>& outputs() noexcept { return outputs_; }
+
+    /// Name of a node, generating "n<id>" when unset.
+    [[nodiscard]] std::string node_name(NodeId id) const;
+    /// Find an input node by name.
+    [[nodiscard]] std::optional<NodeId> find_input(const std::string& name) const;
+
+    // ---- Analysis ----------------------------------------------------------
+    /// Topological order over all nodes reachable from outputs (inputs first).
+    [[nodiscard]] std::vector<NodeId> topo_order() const;
+    /// Fanout count per node, counting output ports as one fanout each.
+    [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+    [[nodiscard]] NetworkStats stats() const;
+    /// Maximum logic depth (inputs at depth 0; inverters/buffers count 0).
+    [[nodiscard]] int logic_depth() const;
+
+private:
+    std::string model_name_ = "network";
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<OutputPort> outputs_;
+};
+
+}  // namespace bdsmaj::net

@@ -1,0 +1,169 @@
+#include "network/simulate.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bdsmaj::net {
+
+std::vector<std::uint64_t> simulate_words(const Network& network,
+                                          const std::vector<std::uint64_t>& pi_words) {
+    if (pi_words.size() != network.inputs().size()) {
+        throw std::invalid_argument("simulate_words: stimulus count != PI count");
+    }
+    std::vector<std::uint64_t> value(network.node_count(), 0);
+    for (std::size_t i = 0; i < pi_words.size(); ++i) {
+        value[network.inputs()[i]] = pi_words[i];
+    }
+    std::vector<std::uint64_t> fanin_words;
+    for (const NodeId id : network.topo_order()) {
+        const Node& n = network.node(id);
+        const auto in = [&](std::size_t k) { return value[n.fanins[k]]; };
+        switch (n.kind) {
+            case GateKind::kInput: break;
+            case GateKind::kConst0: value[id] = 0; break;
+            case GateKind::kConst1: value[id] = ~std::uint64_t{0}; break;
+            case GateKind::kBuf: value[id] = in(0); break;
+            case GateKind::kNot: value[id] = ~in(0); break;
+            case GateKind::kAnd: value[id] = in(0) & in(1); break;
+            case GateKind::kOr: value[id] = in(0) | in(1); break;
+            case GateKind::kNand: value[id] = ~(in(0) & in(1)); break;
+            case GateKind::kNor: value[id] = ~(in(0) | in(1)); break;
+            case GateKind::kXor: value[id] = in(0) ^ in(1); break;
+            case GateKind::kXnor: value[id] = ~(in(0) ^ in(1)); break;
+            case GateKind::kMaj:
+                value[id] = (in(0) & in(1)) | (in(1) & in(2)) | (in(0) & in(2));
+                break;
+            case GateKind::kMux:
+                value[id] = (in(0) & in(1)) | (~in(0) & in(2));
+                break;
+            case GateKind::kSop: {
+                fanin_words.clear();
+                for (const NodeId f : n.fanins) fanin_words.push_back(value[f]);
+                value[id] = n.sop.eval_words(fanin_words);
+                break;
+            }
+        }
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(network.outputs().size());
+    for (const OutputPort& po : network.outputs()) out.push_back(value[po.driver]);
+    return out;
+}
+
+std::vector<bool> simulate(const Network& network, const std::vector<bool>& pi_values) {
+    std::vector<std::uint64_t> words(pi_values.size());
+    for (std::size_t i = 0; i < pi_values.size(); ++i) {
+        words[i] = pi_values[i] ? ~std::uint64_t{0} : 0;
+    }
+    const std::vector<std::uint64_t> out_words = simulate_words(network, words);
+    std::vector<bool> out(out_words.size());
+    for (std::size_t i = 0; i < out_words.size(); ++i) out[i] = (out_words[i] & 1) != 0;
+    return out;
+}
+
+EquivalenceResult random_equivalent(const Network& a, const Network& b, int rounds,
+                                    std::uint64_t seed) {
+    if (a.inputs().size() != b.inputs().size()) {
+        return {false, "input counts differ"};
+    }
+    if (a.outputs().size() != b.outputs().size()) {
+        return {false, "output counts differ"};
+    }
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint64_t> stimulus(a.inputs().size());
+    for (int round = 0; round < rounds; ++round) {
+        for (auto& w : stimulus) w = rng();
+        const auto va = simulate_words(a, stimulus);
+        const auto vb = simulate_words(b, stimulus);
+        for (std::size_t o = 0; o < va.size(); ++o) {
+            if (va[o] != vb[o]) {
+                std::ostringstream os;
+                os << "output " << a.outputs()[o].name << " differs (round "
+                   << round << ")";
+                return {false, os.str()};
+            }
+        }
+    }
+    return {true, {}};
+}
+
+std::vector<bdd::Bdd> network_to_bdds(const Network& network, bdd::Manager& mgr) {
+    while (mgr.num_vars() < static_cast<int>(network.inputs().size())) {
+        (void)mgr.new_var();
+    }
+    std::vector<bdd::Bdd> value(network.node_count());
+    for (std::size_t i = 0; i < network.inputs().size(); ++i) {
+        value[network.inputs()[i]] = mgr.var_bdd(static_cast<int>(i));
+    }
+    for (const NodeId id : network.topo_order()) {
+        const Node& n = network.node(id);
+        const auto in = [&](std::size_t k) -> const bdd::Bdd& {
+            return value[n.fanins[k]];
+        };
+        switch (n.kind) {
+            case GateKind::kInput: break;
+            case GateKind::kConst0: value[id] = mgr.zero(); break;
+            case GateKind::kConst1: value[id] = mgr.one(); break;
+            case GateKind::kBuf: value[id] = in(0); break;
+            case GateKind::kNot: value[id] = !in(0); break;
+            case GateKind::kAnd: value[id] = mgr.apply_and(in(0), in(1)); break;
+            case GateKind::kOr: value[id] = mgr.apply_or(in(0), in(1)); break;
+            case GateKind::kNand: value[id] = !mgr.apply_and(in(0), in(1)); break;
+            case GateKind::kNor: value[id] = !mgr.apply_or(in(0), in(1)); break;
+            case GateKind::kXor: value[id] = mgr.apply_xor(in(0), in(1)); break;
+            case GateKind::kXnor: value[id] = mgr.apply_xnor(in(0), in(1)); break;
+            case GateKind::kMaj: value[id] = mgr.maj(in(0), in(1), in(2)); break;
+            case GateKind::kMux: value[id] = mgr.ite(in(0), in(1), in(2)); break;
+            case GateKind::kSop: {
+                bdd::Bdd acc = mgr.zero();
+                for (const Cube& cube : n.sop.cubes()) {
+                    bdd::Bdd term = mgr.one();
+                    for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+                        if (cube.lits[i] == Lit::kDash) continue;
+                        const bdd::Bdd& fi = in(i);
+                        term = mgr.apply_and(term,
+                                             cube.lits[i] == Lit::kPos ? fi : !fi);
+                    }
+                    acc = mgr.apply_or(acc, term);
+                }
+                value[id] = std::move(acc);
+                break;
+            }
+        }
+    }
+    std::vector<bdd::Bdd> outs;
+    outs.reserve(network.outputs().size());
+    for (const OutputPort& po : network.outputs()) outs.push_back(value[po.driver]);
+    return outs;
+}
+
+EquivalenceResult bdd_equivalent(const Network& a, const Network& b) {
+    if (a.inputs().size() != b.inputs().size()) {
+        return {false, "input counts differ"};
+    }
+    if (a.outputs().size() != b.outputs().size()) {
+        return {false, "output counts differ"};
+    }
+    bdd::Manager mgr(static_cast<int>(a.inputs().size()));
+    const std::vector<bdd::Bdd> fa = network_to_bdds(a, mgr);
+    const std::vector<bdd::Bdd> fb = network_to_bdds(b, mgr);
+    for (std::size_t o = 0; o < fa.size(); ++o) {
+        if (!(fa[o] == fb[o])) {
+            return {false, "output " + a.outputs()[o].name + " differs (BDD)"};
+        }
+    }
+    return {true, {}};
+}
+
+EquivalenceResult check_equivalent(const Network& a, const Network& b,
+                                   int exact_input_limit, int random_rounds,
+                                   std::uint64_t seed) {
+    const EquivalenceResult fast = random_equivalent(a, b, random_rounds, seed);
+    if (!fast.equivalent) return fast;
+    if (static_cast<int>(a.inputs().size()) <= exact_input_limit) {
+        return bdd_equivalent(a, b);
+    }
+    return fast;
+}
+
+}  // namespace bdsmaj::net

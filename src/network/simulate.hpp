@@ -1,0 +1,59 @@
+#pragma once
+// Network simulation and equivalence checking.
+//
+// Two complementary engines:
+//   * 64-way bit-parallel random simulation (fast falsification on any size)
+//   * exact equivalence through shared-manager BDD construction (networks
+//     with a moderate number of inputs), which every flow in this repo uses
+//     as its final functional sign-off.
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "network/network.hpp"
+
+namespace bdsmaj::net {
+
+/// One 64-pattern simulation: `pi_words[i]` is the stimulus of input i
+/// (bit k = pattern k); returns one word per output port.
+[[nodiscard]] std::vector<std::uint64_t> simulate_words(
+    const Network& network, const std::vector<std::uint64_t>& pi_words);
+
+/// Single-pattern convenience wrapper.
+[[nodiscard]] std::vector<bool> simulate(const Network& network,
+                                         const std::vector<bool>& pi_values);
+
+/// Result of an equivalence query.
+struct EquivalenceResult {
+    bool equivalent = false;
+    std::string reason;  // human-readable mismatch description
+};
+
+/// Random simulation with `rounds` x 64 patterns. Inputs/outputs are
+/// matched positionally; PI and PO counts must agree.
+[[nodiscard]] EquivalenceResult random_equivalent(const Network& a,
+                                                  const Network& b, int rounds,
+                                                  std::uint64_t seed);
+
+/// Exact equivalence by building both networks' output BDDs in one manager.
+/// Practical up to a few tens of inputs on these benchmark classes.
+[[nodiscard]] EquivalenceResult bdd_equivalent(const Network& a, const Network& b);
+
+/// Exact when the input count permits, random fallback otherwise: the
+/// default sign-off used by tests and flows.
+[[nodiscard]] EquivalenceResult check_equivalent(const Network& a, const Network& b,
+                                                 int exact_input_limit = 26,
+                                                 int random_rounds = 64,
+                                                 std::uint64_t seed = 0x5eed);
+
+/// Build the BDD of every output of `network` in `mgr`, using manager
+/// variable i for primary input i. Exposed because flows construct global
+/// BDDs for verification and for the DC-proxy collapse.
+[[nodiscard]] std::vector<bdd::Bdd> network_to_bdds(const Network& network,
+                                                    bdd::Manager& mgr);
+
+}  // namespace bdsmaj::net

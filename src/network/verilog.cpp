@@ -1,0 +1,204 @@
+#include "network/verilog.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bdsmaj::net {
+
+namespace {
+
+/// Verilog identifiers: letters, digits, _, $; must not start with a digit.
+std::string sanitize(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '$';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), 'n');
+    return out;
+}
+
+class NameTable {
+public:
+    explicit NameTable(const Network& net) : net_(net) {}
+
+    const std::string& of(NodeId id) {
+        auto it = names_.find(id);
+        if (it != names_.end()) return it->second;
+        std::string base = sanitize(net_.node_name(id));
+        std::string candidate = base;
+        int suffix = 0;
+        while (used_.contains(candidate)) candidate = base + "_" + std::to_string(++suffix);
+        used_.insert(candidate);
+        return names_.emplace(id, std::move(candidate)).first->second;
+    }
+
+private:
+    const Network& net_;
+    std::unordered_map<NodeId, std::string> names_;
+    std::unordered_set<std::string> used_;
+};
+
+void write_header(std::ostringstream& os, const Network& net, NameTable& names) {
+    os << "module " << sanitize(net.model_name()) << " (";
+    bool first = true;
+    for (const NodeId id : net.inputs()) {
+        os << (first ? "" : ", ") << names.of(id);
+        first = false;
+    }
+    for (const OutputPort& po : net.outputs()) {
+        os << (first ? "" : ", ") << sanitize(po.name) << "_o";
+        first = false;
+    }
+    os << ");\n";
+    for (const NodeId id : net.inputs()) os << "  input " << names.of(id) << ";\n";
+    for (const OutputPort& po : net.outputs()) {
+        os << "  output " << sanitize(po.name) << "_o;\n";
+    }
+}
+
+}  // namespace
+
+std::string write_verilog(const Network& network) {
+    std::ostringstream os;
+    NameTable names(network);
+    write_header(os, network, names);
+    for (const NodeId id : network.topo_order()) {
+        const Node& n = network.node(id);
+        if (n.kind == GateKind::kInput) continue;
+        os << "  wire " << names.of(id) << ";\n";
+    }
+    for (const NodeId id : network.topo_order()) {
+        const Node& n = network.node(id);
+        const auto in = [&](std::size_t k) { return names.of(n.fanins[k]); };
+        switch (n.kind) {
+            case GateKind::kInput: continue;
+            case GateKind::kConst0:
+                os << "  assign " << names.of(id) << " = 1'b0;\n";
+                break;
+            case GateKind::kConst1:
+                os << "  assign " << names.of(id) << " = 1'b1;\n";
+                break;
+            case GateKind::kBuf:
+                os << "  assign " << names.of(id) << " = " << in(0) << ";\n";
+                break;
+            case GateKind::kNot:
+                os << "  assign " << names.of(id) << " = ~" << in(0) << ";\n";
+                break;
+            case GateKind::kAnd:
+                os << "  assign " << names.of(id) << " = " << in(0) << " & " << in(1) << ";\n";
+                break;
+            case GateKind::kOr:
+                os << "  assign " << names.of(id) << " = " << in(0) << " | " << in(1) << ";\n";
+                break;
+            case GateKind::kNand:
+                os << "  assign " << names.of(id) << " = ~(" << in(0) << " & " << in(1) << ");\n";
+                break;
+            case GateKind::kNor:
+                os << "  assign " << names.of(id) << " = ~(" << in(0) << " | " << in(1) << ");\n";
+                break;
+            case GateKind::kXor:
+                os << "  assign " << names.of(id) << " = " << in(0) << " ^ " << in(1) << ";\n";
+                break;
+            case GateKind::kXnor:
+                os << "  assign " << names.of(id) << " = ~(" << in(0) << " ^ " << in(1) << ");\n";
+                break;
+            case GateKind::kMaj:
+                os << "  assign " << names.of(id) << " = (" << in(0) << " & " << in(1)
+                   << ") | (" << in(1) << " & " << in(2) << ") | (" << in(0) << " & "
+                   << in(2) << ");\n";
+                break;
+            case GateKind::kMux:
+                os << "  assign " << names.of(id) << " = " << in(0) << " ? " << in(1)
+                   << " : " << in(2) << ";\n";
+                break;
+            case GateKind::kSop: {
+                os << "  assign " << names.of(id) << " = ";
+                if (n.sop.is_const0()) {
+                    os << "1'b0";
+                } else {
+                    bool first_cube = true;
+                    for (const Cube& cube : n.sop.cubes()) {
+                        os << (first_cube ? "" : " | ");
+                        first_cube = false;
+                        if (cube.literal_count() == 0) {
+                            os << "1'b1";
+                            continue;
+                        }
+                        os << "(";
+                        bool first_lit = true;
+                        for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+                            if (cube.lits[i] == Lit::kDash) continue;
+                            os << (first_lit ? "" : " & ")
+                               << (cube.lits[i] == Lit::kNeg ? "~" : "") << in(i);
+                            first_lit = false;
+                        }
+                        os << ")";
+                    }
+                }
+                os << ";\n";
+                break;
+            }
+        }
+    }
+    for (const OutputPort& po : network.outputs()) {
+        os << "  assign " << sanitize(po.name) << "_o = " << names.of(po.driver)
+           << ";\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+std::string write_verilog_netlist(const Network& netlist,
+                                  const mapping::CellLibrary& lib) {
+    std::ostringstream os;
+    NameTable names(netlist);
+    write_header(os, netlist, names);
+    for (const NodeId id : netlist.topo_order()) {
+        const Node& n = netlist.node(id);
+        if (n.kind == GateKind::kInput) continue;
+        os << "  wire " << names.of(id) << ";\n";
+    }
+    int instance = 0;
+    for (const NodeId id : netlist.topo_order()) {
+        const Node& n = netlist.node(id);
+        switch (n.kind) {
+            case GateKind::kInput: continue;
+            case GateKind::kConst0:
+                os << "  assign " << names.of(id) << " = 1'b0;\n";
+                continue;
+            case GateKind::kConst1:
+                os << "  assign " << names.of(id) << " = 1'b1;\n";
+                continue;
+            case GateKind::kBuf:
+                os << "  assign " << names.of(id) << " = " << names.of(n.fanins[0])
+                   << ";\n";
+                continue;
+            default: break;
+        }
+        if (!lib.has_cell_for(n.kind)) {
+            throw std::invalid_argument(
+                std::string("write_verilog_netlist: no cell for ") +
+                gate_kind_name(n.kind));
+        }
+        const mapping::Cell& cell = lib.cell_for(n.kind);
+        os << "  " << cell.name << " u" << instance++ << " (.Y(" << names.of(id) << ")";
+        static const char* pins[] = {"A", "B", "C"};
+        for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+            os << ", ." << pins[k] << "(" << names.of(n.fanins[k]) << ")";
+        }
+        os << ");\n";
+    }
+    for (const OutputPort& po : netlist.outputs()) {
+        os << "  assign " << sanitize(po.name) << "_o = " << names.of(po.driver)
+           << ";\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+}  // namespace bdsmaj::net

@@ -1,0 +1,23 @@
+#pragma once
+// Structural Verilog writer for networks and mapped netlists, so results
+// flow into standard downstream tooling (simulators, P&R). Mapped netlists
+// are emitted as cell instantiations against the library cell names;
+// unmapped networks as assign statements over Verilog operators.
+
+#include <string>
+
+#include "mapping/library.hpp"
+#include "network/network.hpp"
+
+namespace bdsmaj::net {
+
+/// Behavioral-structural form: one `assign` per logic node.
+[[nodiscard]] std::string write_verilog(const Network& network);
+
+/// Gate-level form: one cell instance per node, using the library's cell
+/// names (INV, NAND2, ...). Requires the network to contain only library
+/// kinds plus inputs/constants/buffers.
+[[nodiscard]] std::string write_verilog_netlist(const Network& netlist,
+                                                const mapping::CellLibrary& lib);
+
+}  // namespace bdsmaj::net

@@ -1,0 +1,188 @@
+// Property tests: every BDD operation is validated against the truth-table
+// oracle on random functions, exhaustively over all minterms.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "tt/truth_table.hpp"
+
+namespace bdsmaj::bdd {
+namespace {
+
+using tt::TruthTable;
+
+class BddOracleTest : public ::testing::TestWithParam<int> {
+protected:
+    int n() const { return GetParam(); }
+};
+
+TEST_P(BddOracleTest, FromToTruthTableRoundTrips) {
+    std::mt19937_64 rng(41 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 25; ++trial) {
+        const TruthTable f = TruthTable::random(n(), rng);
+        const Bdd b = mgr.from_truth_table(f);
+        EXPECT_EQ(mgr.to_truth_table(b, n()), f);
+    }
+}
+
+TEST_P(BddOracleTest, CanonicityEqualFunctionsEqualHandles) {
+    std::mt19937_64 rng(43 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 25; ++trial) {
+        const TruthTable f = TruthTable::random(n(), rng);
+        const Bdd b1 = mgr.from_truth_table(f);
+        // Rebuild through a completely different route: Shannon on var 0.
+        const Bdd x0 = mgr.var_bdd(0);
+        const Bdd b2 = mgr.ite(x0, mgr.from_truth_table(f.cofactor(0, true)),
+                               mgr.from_truth_table(f.cofactor(0, false)));
+        EXPECT_EQ(b1, b2);
+    }
+}
+
+TEST_P(BddOracleTest, BinaryConnectivesMatchOracle) {
+    std::mt19937_64 rng(47 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable ft = TruthTable::random(n(), rng);
+        const TruthTable gt = TruthTable::random(n(), rng);
+        const Bdd f = mgr.from_truth_table(ft);
+        const Bdd g = mgr.from_truth_table(gt);
+        EXPECT_EQ(mgr.to_truth_table(mgr.apply_and(f, g), n()), ft & gt);
+        EXPECT_EQ(mgr.to_truth_table(mgr.apply_or(f, g), n()), ft | gt);
+        EXPECT_EQ(mgr.to_truth_table(mgr.apply_xor(f, g), n()), ft ^ gt);
+        EXPECT_EQ(mgr.to_truth_table(mgr.apply_xnor(f, g), n()), ~(ft ^ gt));
+        EXPECT_EQ(mgr.to_truth_table(!f, n()), ~ft);
+    }
+}
+
+TEST_P(BddOracleTest, IteMatchesOracle) {
+    std::mt19937_64 rng(53 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable ft = TruthTable::random(n(), rng);
+        const TruthTable gt = TruthTable::random(n(), rng);
+        const TruthTable ht = TruthTable::random(n(), rng);
+        const Bdd r = mgr.ite(mgr.from_truth_table(ft), mgr.from_truth_table(gt),
+                              mgr.from_truth_table(ht));
+        EXPECT_EQ(mgr.to_truth_table(r, n()), tt::ite(ft, gt, ht));
+    }
+}
+
+TEST_P(BddOracleTest, MajMatchesOracle) {
+    std::mt19937_64 rng(59 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable at = TruthTable::random(n(), rng);
+        const TruthTable bt = TruthTable::random(n(), rng);
+        const TruthTable ct = TruthTable::random(n(), rng);
+        const Bdd r = mgr.maj(mgr.from_truth_table(at), mgr.from_truth_table(bt),
+                              mgr.from_truth_table(ct));
+        EXPECT_EQ(mgr.to_truth_table(r, n()), tt::maj3(at, bt, ct));
+    }
+}
+
+TEST_P(BddOracleTest, CofactorAndQuantifiersMatchOracle) {
+    std::mt19937_64 rng(61 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 10; ++trial) {
+        const TruthTable ft = TruthTable::random(n(), rng);
+        const Bdd f = mgr.from_truth_table(ft);
+        for (int v = 0; v < n(); ++v) {
+            EXPECT_EQ(mgr.to_truth_table(mgr.cofactor(f, v, false), n()),
+                      ft.cofactor(v, false));
+            EXPECT_EQ(mgr.to_truth_table(mgr.cofactor(f, v, true), n()),
+                      ft.cofactor(v, true));
+            EXPECT_EQ(mgr.to_truth_table(mgr.exists(f, v), n()),
+                      ft.cofactor(v, false) | ft.cofactor(v, true));
+            EXPECT_EQ(mgr.to_truth_table(mgr.forall(f, v), n()),
+                      ft.cofactor(v, false) & ft.cofactor(v, true));
+        }
+    }
+}
+
+TEST_P(BddOracleTest, EvalAgreesWithOracleOnAllMinterms) {
+    std::mt19937_64 rng(67 + n());
+    Manager mgr(n());
+    const TruthTable ft = TruthTable::random(n(), rng);
+    const Bdd f = mgr.from_truth_table(ft);
+    std::vector<bool> input(static_cast<std::size_t>(n()));
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n()); ++m) {
+        for (int v = 0; v < n(); ++v) input[static_cast<std::size_t>(v)] = (m >> v) & 1;
+        EXPECT_EQ(mgr.eval(f, input), ft.get_bit(m)) << "minterm " << m;
+    }
+}
+
+TEST_P(BddOracleTest, SatFractionMatchesOracleCount) {
+    std::mt19937_64 rng(71 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 10; ++trial) {
+        const TruthTable ft = TruthTable::random(n(), rng);
+        const Bdd f = mgr.from_truth_table(ft);
+        const double expected = static_cast<double>(ft.count_ones()) /
+                                static_cast<double>(ft.num_bits());
+        EXPECT_NEAR(mgr.sat_fraction(f), expected, 1e-12);
+    }
+}
+
+TEST_P(BddOracleTest, SupportMatchesOracle) {
+    std::mt19937_64 rng(73 + n());
+    Manager mgr(n());
+    for (int trial = 0; trial < 10; ++trial) {
+        const TruthTable ft = TruthTable::random(n(), rng);
+        const Bdd f = mgr.from_truth_table(ft);
+        EXPECT_EQ(mgr.support_vars(f), ft.support());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BddOracleTest, ::testing::Values(1, 2, 3, 4, 6, 8, 10));
+
+TEST(BddOps, IteTerminalRules) {
+    Manager mgr(3);
+    const Bdd f = mgr.var_bdd(0);
+    const Bdd g = mgr.var_bdd(1);
+    EXPECT_EQ(mgr.ite(mgr.one(), f, g), f);
+    EXPECT_EQ(mgr.ite(mgr.zero(), f, g), g);
+    EXPECT_EQ(mgr.ite(f, g, g), g);
+    EXPECT_EQ(mgr.ite(f, mgr.one(), mgr.zero()), f);
+    EXPECT_EQ(mgr.ite(f, mgr.zero(), mgr.one()), !f);
+    EXPECT_EQ(mgr.ite(f, f, g), mgr.apply_or(f, g));
+    EXPECT_EQ(mgr.ite(f, !f, g), mgr.apply_and(!f, g) | (mgr.apply_and(f, !f)));
+}
+
+TEST(BddOps, XorOfFunctionWithItselfIsZero) {
+    Manager mgr(5);
+    std::mt19937_64 rng(79);
+    const Bdd f = mgr.from_truth_table(tt::TruthTable::random(5, rng));
+    EXPECT_TRUE(mgr.apply_xor(f, f).is_zero());
+    EXPECT_TRUE(mgr.apply_xor(f, !f).is_one());
+    EXPECT_TRUE(mgr.apply_xnor(f, f).is_one());
+}
+
+TEST(BddOps, MajIdentities) {
+    Manager mgr(3);
+    const Bdd a = mgr.var_bdd(0), b = mgr.var_bdd(1), c = mgr.var_bdd(2);
+    EXPECT_EQ(mgr.maj(a, b, mgr.zero()), a & b);
+    EXPECT_EQ(mgr.maj(a, b, mgr.one()), a | b);
+    EXPECT_EQ(mgr.maj(a, a, b), a);
+    EXPECT_EQ(mgr.maj(a, b, c), mgr.maj(c, b, a)) << "symmetry";
+    // Self-duality: Maj(a',b',c') = Maj(a,b,c)'.
+    EXPECT_EQ(mgr.maj(!a, !b, !c), !mgr.maj(a, b, c));
+}
+
+TEST(BddOps, DeepChainHasLinearSize) {
+    // A conjunction of k literals must have exactly k nodes.
+    Manager mgr(24);
+    Bdd f = mgr.one();
+    for (int v = 0; v < 24; ++v) f = f & mgr.var_bdd(v);
+    EXPECT_EQ(mgr.dag_size(f), 24u);
+    // Parity of k variables has k nodes with complement edges.
+    Bdd p = mgr.zero();
+    for (int v = 0; v < 24; ++v) p = p ^ mgr.var_bdd(v);
+    EXPECT_EQ(mgr.dag_size(p), 24u);
+}
+
+}  // namespace
+}  // namespace bdsmaj::bdd

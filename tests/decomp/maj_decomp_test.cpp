@@ -1,0 +1,204 @@
+// Property tests for the paper's Theorems 3.1-3.4 and Algorithm 1.
+
+#include "decomp/maj_decomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.hpp"
+
+namespace bdsmaj::decomp {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+using tt::TruthTable;
+
+// Theorem 3.2/3.3: for ANY function F and ANY candidate Fa, the (β)
+// construction is a valid majority decomposition.
+class ConstructionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConstructionTest, ArbitraryFaYieldsValidDecomposition) {
+    const int n = GetParam();
+    std::mt19937_64 rng(1101 + n);
+    Manager mgr(n);
+    for (int trial = 0; trial < 25; ++trial) {
+        const Bdd f = mgr.from_truth_table(TruthTable::random(n, rng));
+        const Bdd fa = mgr.from_truth_table(TruthTable::random(n, rng));
+        for (const bool use_restrict : {true, false}) {
+            const MajDecomposition d = construct_majority(mgr, f, fa, use_restrict);
+            EXPECT_EQ(mgr.maj(d.fa, d.fb, d.fc), f)
+                << "n=" << n << " trial=" << trial << " restrict=" << use_restrict;
+            EXPECT_EQ(d.fa, fa);
+        }
+    }
+}
+
+TEST_P(ConstructionTest, ConstantAndExtremeFa) {
+    const int n = GetParam();
+    std::mt19937_64 rng(1103 + n);
+    Manager mgr(n);
+    const Bdd f = mgr.from_truth_table(TruthTable::random(n, rng));
+    for (const Bdd& fa : {mgr.zero(), mgr.one(), f, !f}) {
+        const MajDecomposition d = construct_majority(mgr, f, fa);
+        EXPECT_EQ(mgr.maj(d.fa, d.fb, d.fc), f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConstructionTest, ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Construction, PaperExample) {
+    // F = ab+bc+ac with Fa = a gives H = b+c, W = bc, and after the ITE
+    // construction Fb = b+c, Fc = bc (SIII-C example).
+    Manager mgr(3);
+    const Bdd a = mgr.var_bdd(0), b = mgr.var_bdd(1), c = mgr.var_bdd(2);
+    const Bdd f = mgr.maj(a, b, c);
+    const MajDecomposition d = construct_majority(mgr, f, a);
+    EXPECT_EQ(d.fb, b | c);
+    EXPECT_EQ(d.fc, b & c);
+    EXPECT_EQ(mgr.maj(d.fa, d.fb, d.fc), f);
+}
+
+// Theorem 3.4: balancing preserves the decomposition.
+TEST(Balancing, PreservesValidityOnRandomFunctions) {
+    std::mt19937_64 rng(1107);
+    for (int n : {3, 4, 6}) {
+        Manager mgr(n);
+        for (int trial = 0; trial < 15; ++trial) {
+            const Bdd f = mgr.from_truth_table(TruthTable::random(n, rng));
+            const Bdd fa = mgr.from_truth_table(TruthTable::random(n, rng));
+            MajDecomposition d = construct_majority(mgr, f, fa);
+            for (int iter = 0; iter < 5; ++iter) {
+                if (!balance_majority_once(mgr, f, d)) break;
+                ASSERT_EQ(mgr.maj(d.fa, d.fb, d.fc), f)
+                    << "n=" << n << " trial=" << trial << " iter=" << iter;
+            }
+        }
+    }
+}
+
+TEST(Balancing, PaperExampleReachesLiterals) {
+    // Fb = b+c, Fc = bc must rebalance to Fb = b, Fc = c (SIII-D example):
+    // Maj(a, b, c) is recovered exactly.
+    Manager mgr(3);
+    const Bdd a = mgr.var_bdd(0), b = mgr.var_bdd(1), c = mgr.var_bdd(2);
+    const Bdd f = mgr.maj(a, b, c);
+    MajDecomposition d = construct_majority(mgr, f, a);
+    while (balance_majority_once(mgr, f, d)) {
+    }
+    EXPECT_EQ(mgr.maj(d.fa, d.fb, d.fc), f);
+    EXPECT_EQ(d.total_size(mgr), 3u) << "three literals";
+    EXPECT_EQ(d.fa, a);
+    EXPECT_TRUE((d.fb == b && d.fc == c) || (d.fb == c && d.fc == b));
+}
+
+TEST(Balancing, NeverIncreasesTotalSize) {
+    std::mt19937_64 rng(1109);
+    Manager mgr(6);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Bdd f = mgr.from_truth_table(TruthTable::random(6, rng));
+        const Bdd fa = mgr.from_truth_table(TruthTable::random(6, rng));
+        MajDecomposition d = construct_majority(mgr, f, fa);
+        std::size_t prev = d.total_size(mgr);
+        for (int iter = 0; iter < 5; ++iter) {
+            if (!balance_majority_once(mgr, f, d)) break;
+            const std::size_t now = d.total_size(mgr);
+            // Pairwise improvements may shuffle sizes between components
+            // but each accepted move shrinks its pair, so the total over
+            // a full sweep cannot grow.
+            EXPECT_LE(now, prev + 0u);
+            prev = now;
+        }
+    }
+}
+
+// Algorithm 1 end to end.
+TEST(MajDecompose, MajorityOfLiteralsIsRecoveredExactly) {
+    Manager mgr(3);
+    const Bdd a = mgr.var_bdd(0), b = mgr.var_bdd(1), c = mgr.var_bdd(2);
+    const Bdd f = mgr.maj(a, b, c);
+    const auto d = maj_decompose(mgr, f);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(mgr.maj(d->fa, d->fb, d->fc), f);
+    EXPECT_EQ(d->total_size(mgr), 3u) << "Maj(a,b,c) decomposes to literals";
+    EXPECT_TRUE(maj_globally_advantageous(mgr, f, *d, 1.6))
+        << "|F|=4, parts are literals: 1.6*1 <= 4";
+}
+
+TEST(MajDecompose, ValidOnRandomFunctionsWhenCandidatesExist) {
+    std::mt19937_64 rng(1117);
+    int found = 0;
+    for (int n : {4, 5, 6, 8}) {
+        Manager mgr(n);
+        for (int trial = 0; trial < 15; ++trial) {
+            const Bdd f = mgr.from_truth_table(TruthTable::random(n, rng));
+            const auto d = maj_decompose(mgr, f);
+            if (!d) continue;
+            ++found;
+            EXPECT_EQ(mgr.maj(d->fa, d->fb, d->fc), f) << "n=" << n;
+        }
+    }
+    EXPECT_GT(found, 10) << "m-dominators should be common on random BDDs";
+}
+
+TEST(MajDecompose, ConstantsHaveNoDecomposition) {
+    Manager mgr(2);
+    EXPECT_FALSE(maj_decompose(mgr, mgr.one()).has_value());
+    EXPECT_FALSE(maj_decompose(mgr, mgr.zero()).has_value());
+}
+
+TEST(MajDecompose, MajorityOfSubfunctionsIsFound) {
+    // F = Maj(a&b, c^d, e|f): a datapath-ish shape; the decomposition
+    // must exist and be valid, with all parts smaller than F.
+    Manager mgr(6);
+    const Bdd g1 = mgr.var_bdd(0) & mgr.var_bdd(1);
+    const Bdd g2 = mgr.var_bdd(2) ^ mgr.var_bdd(3);
+    const Bdd g3 = mgr.var_bdd(4) | mgr.var_bdd(5);
+    const Bdd f = mgr.maj(g1, g2, g3);
+    const auto d = maj_decompose(mgr, f);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(mgr.maj(d->fa, d->fb, d->fc), f);
+    EXPECT_LT(d->size_fa(mgr), mgr.dag_size(f));
+    EXPECT_LT(d->size_fb(mgr), mgr.dag_size(f));
+    EXPECT_LT(d->size_fc(mgr), mgr.dag_size(f));
+}
+
+TEST(MajDecompose, IterationLimitIsHonored) {
+    // With zero iterations the (γ) phase is skipped entirely; the result is
+    // the raw (β) construction and still valid.
+    Manager mgr(3);
+    const Bdd f = mgr.maj(mgr.var_bdd(0), mgr.var_bdd(1), mgr.var_bdd(2));
+    MajDecompParams params;
+    params.max_iterations = 0;
+    const auto d = maj_decompose(mgr, f, params);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(mgr.maj(d->fa, d->fb, d->fc), f);
+}
+
+TEST(MajDecompose, GlobalGateRejectsUnbalancedDecompositions) {
+    Manager mgr(3);
+    const Bdd f = mgr.maj(mgr.var_bdd(0), mgr.var_bdd(1), mgr.var_bdd(2));
+    MajDecomposition d;
+    d.fa = f;  // degenerate: one part as large as F itself
+    d.fb = f;
+    d.fc = f;
+    EXPECT_FALSE(maj_globally_advantageous(mgr, f, d, 1.6));
+}
+
+TEST(MajDecompose, AdderCarryChainProducesCompactParts) {
+    // The carry of a 2-bit ripple adder: c2 = Maj(a1,b1,Maj(a0,b0,cin)).
+    Manager mgr(5);
+    const Bdd a0 = mgr.var_bdd(0), b0 = mgr.var_bdd(1), cin = mgr.var_bdd(2);
+    const Bdd a1 = mgr.var_bdd(3), b1 = mgr.var_bdd(4);
+    const Bdd c1 = mgr.maj(a0, b0, cin);
+    const Bdd c2 = mgr.maj(a1, b1, c1);
+    const auto d = maj_decompose(mgr, c2);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(mgr.maj(d->fa, d->fb, d->fc), c2);
+    EXPECT_TRUE(maj_globally_advantageous(mgr, c2, *d, 1.6))
+        << "carry chains are the datapath pattern the paper targets";
+}
+
+}  // namespace
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,140 @@
+#include "network/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "network/simulate.hpp"
+
+namespace bdsmaj::net {
+namespace {
+
+constexpr const char* kFullAdderBlif = R"(
+# a 1-bit full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+)";
+
+TEST(Blif, ParsesFullAdder) {
+    const Network net = parse_blif(kFullAdderBlif);
+    EXPECT_EQ(net.model_name(), "fa");
+    ASSERT_EQ(net.inputs().size(), 3u);
+    ASSERT_EQ(net.outputs().size(), 2u);
+    for (int m = 0; m < 8; ++m) {
+        const bool a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1;
+        const auto out = simulate(net, {a, b, c});
+        EXPECT_EQ(out[0], ((a + b + c) & 1) != 0);
+        EXPECT_EQ(out[1], (a + b + c) >= 2);
+    }
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+    const Network net = parse_blif(kFullAdderBlif);
+    const Network again = parse_blif(write_blif(net));
+    EXPECT_TRUE(bdd_equivalent(net, again).equivalent);
+}
+
+TEST(Blif, LineContinuationsAndComments) {
+    const Network net = parse_blif(
+        ".model cont\n"
+        ".inputs a \\\n  b\n"
+        ".outputs y # trailing comment\n"
+        ".names a b y\n"
+        "11 1\n"
+        ".end\n");
+    EXPECT_EQ(net.inputs().size(), 2u);
+    EXPECT_EQ(simulate(net, {true, true})[0], true);
+    EXPECT_EQ(simulate(net, {true, false})[0], false);
+}
+
+TEST(Blif, OffsetPhaseCoverIsComplemented) {
+    // Cover written in the 0 phase: y = NOT(a & b).
+    const Network net = parse_blif(
+        ".model off\n.inputs a b\n.outputs y\n"
+        ".names a b y\n11 0\n.end\n");
+    EXPECT_EQ(simulate(net, {true, true})[0], false);
+    EXPECT_EQ(simulate(net, {false, true})[0], true);
+}
+
+TEST(Blif, ConstantNodes) {
+    const Network net = parse_blif(
+        ".model consts\n.inputs a\n.outputs one zero\n"
+        ".names one\n1\n"
+        ".names zero\n"
+        ".end\n");
+    const auto out = simulate(net, {false});
+    EXPECT_TRUE(out[0]);
+    EXPECT_FALSE(out[1]);
+}
+
+TEST(Blif, OutOfOrderBlocksResolve) {
+    // g references h which is defined later.
+    const Network net = parse_blif(
+        ".model ooo\n.inputs a b\n.outputs g\n"
+        ".names h a g\n11 1\n"
+        ".names a b h\n10 1\n01 1\n"
+        ".end\n");
+    // g = (a^b) & a = a & !b.
+    EXPECT_TRUE(simulate(net, {true, false})[0]);
+    EXPECT_FALSE(simulate(net, {true, true})[0]);
+}
+
+TEST(Blif, ErrorsAreDiagnosed) {
+    EXPECT_THROW((void)parse_blif(".model x\n.inputs a\n.outputs y\n.end\n"),
+                 std::runtime_error);  // undriven output
+    EXPECT_THROW((void)parse_blif(".model x\n.latch a b\n.end\n"),
+                 std::runtime_error);  // sequential
+    EXPECT_THROW((void)parse_blif("11 1\n"), std::runtime_error);  // stray cube
+    EXPECT_THROW((void)parse_blif(".model x\n.inputs a\n.outputs y\n"
+                                  ".names a y\n1 1\nq 1\n.end\n"),
+                 std::exception);  // bad cube char (invalid_argument)
+}
+
+TEST(Blif, MixedPhaseCoversRejected) {
+    EXPECT_THROW((void)parse_blif(".model x\n.inputs a b\n.outputs y\n"
+                                  ".names a b y\n11 1\n00 0\n.end\n"),
+                 std::runtime_error);
+}
+
+TEST(Blif, RandomNetworksRoundTrip) {
+    std::mt19937_64 rng(601);
+    for (int trial = 0; trial < 10; ++trial) {
+        Network net("rt" + std::to_string(trial));
+        std::vector<NodeId> pool;
+        for (int i = 0; i < 5; ++i) pool.push_back(net.add_input("i" + std::to_string(i)));
+        for (int g = 0; g < 30; ++g) {
+            const auto pick = [&] { return pool[rng() % pool.size()]; };
+            const int kind = static_cast<int>(rng() % 7);
+            NodeId id = 0;
+            switch (kind) {
+                case 0: id = net.add_and(pick(), pick()); break;
+                case 1: id = net.add_or(pick(), pick()); break;
+                case 2: id = net.add_xor(pick(), pick()); break;
+                case 3: id = net.add_not(pick()); break;
+                case 4: id = net.add_maj(pick(), pick(), pick()); break;
+                case 5: id = net.add_mux(pick(), pick(), pick()); break;
+                default: id = net.add_xnor(pick(), pick()); break;
+            }
+            pool.push_back(id);
+        }
+        for (int o = 0; o < 4; ++o) {
+            net.add_output("o" + std::to_string(o), pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
+        }
+        const Network again = parse_blif(write_blif(net));
+        EXPECT_TRUE(bdd_equivalent(net, again).equivalent) << "trial " << trial;
+    }
+}
+
+}  // namespace
+}  // namespace bdsmaj::net

@@ -1,0 +1,120 @@
+// Direct tests of the hash-consing builder: the factoring-tree substrate
+// (paper SIV-C) that every decomposition emits through.
+
+#include "network/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/simulate.hpp"
+
+namespace bdsmaj::net {
+namespace {
+
+struct Fixture {
+    Network net;
+    HashedNetworkBuilder builder{net};
+    Signal a, b, c;
+
+    Fixture() {
+        a = Signal{net.add_input("a"), false};
+        b = Signal{net.add_input("b"), false};
+        c = Signal{net.add_input("c"), false};
+    }
+};
+
+TEST(Builder, GatesAreHashConsed) {
+    Fixture f;
+    const Signal g1 = f.builder.build_and(f.a, f.b);
+    const Signal g2 = f.builder.build_and(f.b, f.a);
+    EXPECT_EQ(g1, g2) << "commuted operands share one gate";
+    const Signal g3 = f.builder.build_maj(f.a, f.b, f.c);
+    const Signal g4 = f.builder.build_maj(f.c, f.a, f.b);
+    EXPECT_EQ(g3, g4);
+}
+
+TEST(Builder, ConstantsFold) {
+    Fixture f;
+    const Signal one = f.builder.constant(true);
+    const Signal zero = f.builder.constant(false);
+    EXPECT_EQ(f.builder.build_and(f.a, one), f.a);
+    EXPECT_EQ(f.builder.build_and(f.a, zero), zero);
+    EXPECT_EQ(f.builder.build_or(f.a, one), one);
+    EXPECT_EQ(f.builder.build_xor(f.a, one), !f.a);
+    EXPECT_TRUE(f.builder.is_const(!zero, true));
+    EXPECT_TRUE(f.builder.is_any_const(one));
+    EXPECT_FALSE(f.builder.is_any_const(f.a));
+}
+
+TEST(Builder, ComplementsStaySymbolicUntilRealized) {
+    Fixture f;
+    const Signal g = f.builder.build_and(f.a, f.b);
+    const Signal ng = !g;
+    EXPECT_EQ(!(ng), g);
+    const int nots_before = f.net.stats().not_nodes;
+    EXPECT_EQ(nots_before, 0) << "no NOT gate until realize";
+    const NodeId realized = f.builder.realize(ng);
+    EXPECT_EQ(f.net.node(realized).kind, GateKind::kNot);
+    EXPECT_EQ(f.builder.realize(ng), realized) << "inverters are cached";
+}
+
+TEST(Builder, ComplementedXorRealizesAsXnor) {
+    Fixture f;
+    const Signal g = f.builder.build_xor(f.a, f.b);
+    const NodeId realized = f.builder.realize(!g);
+    EXPECT_EQ(f.net.node(realized).kind, GateKind::kXnor);
+    EXPECT_EQ(f.net.stats().not_nodes, 0);
+}
+
+TEST(Builder, XorPolarityFolding) {
+    Fixture f;
+    const Signal x1 = f.builder.build_xor(!f.a, f.b);
+    const Signal x2 = f.builder.build_xor(f.a, !f.b);
+    const Signal x3 = !f.builder.build_xor(f.a, f.b);
+    EXPECT_EQ(x1, x2);
+    EXPECT_EQ(x1, x3) << "XOR(!a,b) == !XOR(a,b), one gate total";
+}
+
+TEST(Builder, MajoritySelfDuality) {
+    Fixture f;
+    const Signal m1 = f.builder.build_maj(f.a, f.b, f.c);
+    const Signal m2 = f.builder.build_maj(!f.a, !f.b, !f.c);
+    EXPECT_EQ(m2, !m1) << "dual shares the gate with output polarity";
+    // One complemented input stays a real inverter at realize time.
+    const Signal m3 = f.builder.build_maj(!f.a, f.b, f.c);
+    EXPECT_NE(m3.node, m1.node);
+}
+
+TEST(Builder, MuxExpandsWithinTableIAlphabet) {
+    Fixture f;
+    const Signal m = f.builder.build_mux(f.a, f.b, f.c);
+    f.net.add_output("y", f.builder.realize(m));
+    EXPECT_EQ(f.net.stats().mux_nodes, 0);
+    // Function check: a ? b : c.
+    for (int v = 0; v < 8; ++v) {
+        const std::vector<bool> in{(v & 1) != 0, (v & 2) != 0, (v & 4) != 0};
+        EXPECT_EQ(simulate(f.net, in)[0], in[0] ? in[1] : in[2]);
+    }
+}
+
+TEST(Builder, SopNodesAreCached) {
+    Fixture f;
+    Sop cover(2);
+    cover.add_pattern("10");
+    const Signal s1 = f.builder.build_sop({f.a, f.b}, cover);
+    const Signal s2 = f.builder.build_sop({f.a, f.b}, cover);
+    EXPECT_EQ(s1, s2);
+    EXPECT_TRUE(f.builder.build_sop({f.a, f.b}, Sop(2)).node ==
+                f.builder.constant(false).node)
+        << "empty cover folds to constant";
+}
+
+TEST(Builder, OppositePolaritiesCollapse) {
+    Fixture f;
+    EXPECT_TRUE(f.builder.is_const(f.builder.build_and(f.a, !f.a), false));
+    EXPECT_TRUE(f.builder.is_const(f.builder.build_or(f.a, !f.a), true));
+    EXPECT_TRUE(f.builder.is_const(f.builder.build_xor(f.a, !f.a), true));
+    EXPECT_EQ(f.builder.build_maj(f.a, !f.a, f.c), f.c);
+}
+
+}  // namespace
+}  // namespace bdsmaj::net

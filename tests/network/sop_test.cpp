@@ -1,0 +1,126 @@
+#include "network/sop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace bdsmaj::net {
+namespace {
+
+using tt::TruthTable;
+
+TEST(Sop, ConstantsEvaluate) {
+    const Sop zero = Sop::constant(false, 3);
+    const Sop one = Sop::constant(true, 3);
+    EXPECT_TRUE(zero.is_const0());
+    EXPECT_TRUE(one.is_const1());
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        EXPECT_FALSE(zero.eval(m));
+        EXPECT_TRUE(one.eval(m));
+    }
+}
+
+TEST(Sop, PatternParsingAndPrinting) {
+    const Sop s = Sop::from_pattern("1-0");
+    ASSERT_EQ(s.cubes().size(), 1u);
+    EXPECT_EQ(s.cubes()[0].to_string(), "1-0");
+    EXPECT_EQ(s.cubes()[0].literal_count(), 2);
+    EXPECT_TRUE(s.eval(0b001));   // x0=1, x2=0
+    EXPECT_FALSE(s.eval(0b101));  // x2=1 violates '0'
+    EXPECT_FALSE(s.eval(0b000));  // x0=0 violates '1'
+    EXPECT_THROW((void)Sop::from_pattern("1x0"), std::invalid_argument);
+    EXPECT_THROW(Sop(2).add_pattern("111"), std::invalid_argument);
+}
+
+TEST(Sop, LiteralHelper) {
+    const Sop pos = Sop::literal(4, 2, true);
+    const Sop neg = Sop::literal(4, 2, false);
+    for (std::uint64_t m = 0; m < 16; ++m) {
+        EXPECT_EQ(pos.eval(m), ((m >> 2) & 1) != 0);
+        EXPECT_EQ(neg.eval(m), ((m >> 2) & 1) == 0);
+    }
+}
+
+TEST(Sop, EvalWordsMatchesScalarEval) {
+    std::mt19937_64 rng(301);
+    Sop s(5);
+    s.add_pattern("1--0-");
+    s.add_pattern("01--1");
+    s.add_pattern("--11-");
+    std::vector<std::uint64_t> words(5);
+    for (auto& w : words) w = rng();
+    const std::uint64_t out = s.eval_words(words);
+    for (int bit = 0; bit < 64; ++bit) {
+        std::uint64_t input = 0;
+        for (int i = 0; i < 5; ++i) {
+            if ((words[static_cast<std::size_t>(i)] >> bit) & 1) input |= 1u << i;
+        }
+        EXPECT_EQ(((out >> bit) & 1) != 0, s.eval(input)) << "bit " << bit;
+    }
+}
+
+TEST(Sop, TruthTableAgreesWithEval) {
+    Sop s(4);
+    s.add_pattern("11--");
+    s.add_pattern("--00");
+    const TruthTable t = s.to_truth_table();
+    for (std::uint64_t m = 0; m < 16; ++m) EXPECT_EQ(t.get_bit(m), s.eval(m));
+}
+
+class IsopTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopTest, IsopCoversExactlyTheOnSet) {
+    const int n = GetParam();
+    std::mt19937_64 rng(401 + n);
+    for (int trial = 0; trial < 30; ++trial) {
+        const TruthTable f = TruthTable::random(n, rng);
+        const Sop cover = Sop::isop(f);
+        EXPECT_EQ(cover.to_truth_table(), f) << "exactness";
+    }
+}
+
+TEST_P(IsopTest, IsopOfConstants) {
+    const int n = GetParam();
+    EXPECT_TRUE(Sop::isop(TruthTable::zeros(n)).is_const0());
+    EXPECT_TRUE(Sop::isop(TruthTable::ones(n)).is_const1());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IsopTest, ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(Isop, SingleCubeFunctionsYieldSingleCube) {
+    // x0 & !x2 over 3 vars is one cube; ISOP must not fragment it.
+    const TruthTable f =
+        TruthTable::var(3, 0) & ~TruthTable::var(3, 2);
+    const Sop cover = Sop::isop(f);
+    EXPECT_EQ(cover.cubes().size(), 1u);
+    EXPECT_EQ(cover.to_truth_table(), f);
+}
+
+TEST(Isop, XorNeedsExponentialCubes) {
+    // n-input parity needs 2^(n-1) cubes in any SOP; ISOP must hit that.
+    for (int n : {2, 3, 4}) {
+        TruthTable parity = tt::TruthTable::zeros(n);
+        for (int v = 0; v < n; ++v) parity = parity ^ TruthTable::var(n, v);
+        const Sop cover = Sop::isop(parity);
+        EXPECT_EQ(cover.cubes().size(), std::size_t{1} << (n - 1));
+        EXPECT_EQ(cover.to_truth_table(), parity);
+    }
+}
+
+TEST(Sop, LiteralCountSums) {
+    Sop s(4);
+    s.add_pattern("11--");
+    s.add_pattern("1-01");
+    EXPECT_EQ(s.literal_count(), 5);
+    EXPECT_EQ(Sop::constant(true, 4).literal_count(), 0);
+}
+
+TEST(Sop, BlifBodyFormat) {
+    Sop s(2);
+    s.add_pattern("1-");
+    s.add_pattern("01");
+    EXPECT_EQ(s.to_blif_body(), "1- 1\n01 1\n");
+}
+
+}  // namespace
+}  // namespace bdsmaj::net

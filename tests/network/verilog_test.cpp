@@ -1,0 +1,94 @@
+#include "network/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flows/flows.hpp"
+#include "network/simulate.hpp"
+
+namespace bdsmaj::net {
+namespace {
+
+Network full_adder() {
+    Network net("fa");
+    const NodeId a = net.add_input("a");
+    const NodeId b = net.add_input("b");
+    const NodeId cin = net.add_input("cin");
+    net.add_output("sum", net.add_xor(net.add_xor(a, b), cin));
+    net.add_output("cout", net.add_maj(a, b, cin));
+    return net;
+}
+
+TEST(Verilog, BehavioralFormContainsAllConstructs) {
+    Network net;
+    const NodeId a = net.add_input("a");
+    const NodeId b = net.add_input("b");
+    const NodeId c = net.add_input("c");
+    net.add_output("maj", net.add_maj(a, b, c));
+    net.add_output("mux", net.add_mux(a, b, c));
+    net.add_output("xn", net.add_xnor(a, b));
+    net.add_output("k1", net.add_constant(true));
+    Sop cover(2);
+    cover.add_pattern("1-");
+    cover.add_pattern("01");
+    net.add_output("sop", net.add_sop({a, b}, cover, "s"));
+    const std::string v = write_verilog(net);
+    EXPECT_NE(v.find("module"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    EXPECT_NE(v.find("?"), std::string::npos) << "mux";
+    EXPECT_NE(v.find("~("), std::string::npos) << "xnor";
+    EXPECT_NE(v.find("1'b1"), std::string::npos) << "constant";
+    EXPECT_NE(v.find("|"), std::string::npos) << "sop";
+}
+
+TEST(Verilog, NetlistFormInstantiatesLibraryCells) {
+    const Network input = full_adder();
+    const mapping::MappedResult mapped =
+        mapping::map_network(input, flows::default_library());
+    const std::string v = write_verilog_netlist(mapped.netlist, flows::default_library());
+    EXPECT_NE(v.find("XOR2"), std::string::npos);
+    EXPECT_NE(v.find("MAJ3"), std::string::npos);
+    EXPECT_NE(v.find(".Y("), std::string::npos);
+    EXPECT_NE(v.find(".A("), std::string::npos);
+    // One instance per gate.
+    std::size_t instances = 0;
+    for (std::size_t pos = v.find(" u"); pos != std::string::npos;
+         pos = v.find(" u", pos + 1)) {
+        ++instances;
+    }
+    EXPECT_EQ(instances, static_cast<std::size_t>(mapped.gate_count));
+}
+
+TEST(Verilog, NetlistFormRejectsUnmappedKinds) {
+    const Network net = full_adder();  // contains raw XOR/MAJ, fine
+    Network bad;
+    const NodeId a = bad.add_input("a");
+    bad.add_output("y", bad.add_mux(a, a, a));
+    EXPECT_THROW((void)write_verilog_netlist(bad, flows::default_library()),
+                 std::invalid_argument);
+}
+
+TEST(Verilog, NamesAreSanitizedAndUnique) {
+    Network net("top-level.design");
+    const NodeId a = net.add_input("a[0]");
+    const NodeId b = net.add_input("a_0_");  // collides after sanitizing
+    net.add_output("out!", net.add_and(a, b));
+    const std::string v = write_verilog(net);
+    EXPECT_NE(v.find("module top_level_design"), std::string::npos);
+    EXPECT_NE(v.find("a_0_"), std::string::npos);
+    EXPECT_NE(v.find("a_0__1"), std::string::npos) << "collision suffix";
+    EXPECT_NE(v.find("out__o"), std::string::npos);
+}
+
+TEST(Verilog, FlowOutputsEmitInBothForms) {
+    // The writer must handle every construct the flows produce.
+    const flows::SynthesisResult r = flows::flow_bdsmaj(full_adder());
+    const std::string behavioral = write_verilog(r.optimized);
+    const std::string gate_level =
+        write_verilog_netlist(r.mapped.netlist, flows::default_library());
+    EXPECT_NE(behavioral.find("endmodule"), std::string::npos);
+    EXPECT_NE(gate_level.find("endmodule"), std::string::npos);
+    EXPECT_GT(gate_level.size(), 100u);
+}
+
+}  // namespace
+}  // namespace bdsmaj::net

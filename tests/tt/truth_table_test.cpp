@@ -1,0 +1,195 @@
+#include "tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace bdsmaj::tt {
+namespace {
+
+TEST(TruthTable, ConstantsHaveExpectedBits) {
+    for (int n : {0, 1, 3, 6, 8}) {
+        const TruthTable z = TruthTable::zeros(n);
+        const TruthTable o = TruthTable::ones(n);
+        EXPECT_TRUE(z.is_const0()) << n;
+        EXPECT_TRUE(o.is_const1()) << n;
+        EXPECT_EQ(z.count_ones(), 0u);
+        EXPECT_EQ(o.count_ones(), std::uint64_t{1} << n);
+    }
+}
+
+TEST(TruthTable, VarProjectsMinterms) {
+    for (int n : {3, 6, 8}) {
+        for (int v = 0; v < n; ++v) {
+            const TruthTable x = TruthTable::var(n, v);
+            for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+                EXPECT_EQ(x.get_bit(m), ((m >> v) & 1) != 0)
+                    << "n=" << n << " v=" << v << " m=" << m;
+            }
+        }
+    }
+}
+
+TEST(TruthTable, VarRejectsOutOfRange) {
+    EXPECT_THROW((void)TruthTable::var(3, 3), std::invalid_argument);
+    EXPECT_THROW((void)TruthTable::var(3, -1), std::invalid_argument);
+    EXPECT_THROW(TruthTable::zeros(21), std::invalid_argument);
+}
+
+TEST(TruthTable, BooleanOpsMatchBitwiseSemantics) {
+    std::mt19937_64 rng(7);
+    for (int n : {2, 5, 7, 9}) {
+        const TruthTable a = TruthTable::random(n, rng);
+        const TruthTable b = TruthTable::random(n, rng);
+        for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+            EXPECT_EQ((a & b).get_bit(m), a.get_bit(m) && b.get_bit(m));
+            EXPECT_EQ((a | b).get_bit(m), a.get_bit(m) || b.get_bit(m));
+            EXPECT_EQ((a ^ b).get_bit(m), a.get_bit(m) != b.get_bit(m));
+            EXPECT_EQ((~a).get_bit(m), !a.get_bit(m));
+        }
+    }
+}
+
+TEST(TruthTable, SmallTablesCompareAfterNormalization) {
+    // Same function built two ways must be bitwise equal even for n < 6.
+    const TruthTable x0 = TruthTable::var(2, 0);
+    const TruthTable x1 = TruthTable::var(2, 1);
+    const TruthTable viaAnd = x0 & x1;
+    TruthTable viaBits = TruthTable::zeros(2);
+    viaBits.set_bit(3);
+    EXPECT_EQ(viaAnd, viaBits);
+}
+
+TEST(TruthTable, CofactorFixesVariable) {
+    std::mt19937_64 rng(11);
+    for (int n : {4, 7}) {
+        const TruthTable f = TruthTable::random(n, rng);
+        for (int v = 0; v < n; ++v) {
+            const TruthTable f0 = f.cofactor(v, false);
+            const TruthTable f1 = f.cofactor(v, true);
+            EXPECT_FALSE(f0.depends_on(v));
+            EXPECT_FALSE(f1.depends_on(v));
+            for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+                const std::uint64_t m0 = m & ~(std::uint64_t{1} << v);
+                const std::uint64_t m1 = m | (std::uint64_t{1} << v);
+                EXPECT_EQ(f0.get_bit(m), f.get_bit(m0));
+                EXPECT_EQ(f1.get_bit(m), f.get_bit(m1));
+            }
+        }
+    }
+}
+
+TEST(TruthTable, ShannonExpansionReconstructs) {
+    std::mt19937_64 rng(13);
+    for (int n : {3, 6, 8}) {
+        const TruthTable f = TruthTable::random(n, rng);
+        for (int v = 0; v < n; ++v) {
+            const TruthTable x = TruthTable::var(n, v);
+            EXPECT_EQ(ite(x, f.cofactor(v, true), f.cofactor(v, false)), f);
+        }
+    }
+}
+
+TEST(TruthTable, SupportFindsExactDependencies) {
+    const int n = 6;
+    const TruthTable f =
+        (TruthTable::var(n, 1) & TruthTable::var(n, 4)) ^ TruthTable::var(n, 5);
+    EXPECT_EQ(f.support(), (std::vector<int>{1, 4, 5}));
+    EXPECT_TRUE(TruthTable::zeros(n).support().empty());
+}
+
+TEST(TruthTable, SwapVarsIsInvolutive) {
+    std::mt19937_64 rng(17);
+    for (int n : {4, 7}) {
+        const TruthTable f = TruthTable::random(n, rng);
+        for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+                EXPECT_EQ(f.swap_vars(a, b).swap_vars(a, b), f);
+            }
+        }
+    }
+}
+
+TEST(TruthTable, SwapVarsRelabels) {
+    const int n = 5;
+    const TruthTable f = TruthTable::var(n, 0) & ~TruthTable::var(n, 3);
+    const TruthTable g = f.swap_vars(0, 3);
+    EXPECT_EQ(g, TruthTable::var(n, 3) & ~TruthTable::var(n, 0));
+}
+
+TEST(TruthTable, MajoritySatisfiesDefinition) {
+    std::mt19937_64 rng(19);
+    const int n = 6;
+    const TruthTable a = TruthTable::random(n, rng);
+    const TruthTable b = TruthTable::random(n, rng);
+    const TruthTable c = TruthTable::random(n, rng);
+    const TruthTable m = maj3(a, b, c);
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << n); ++i) {
+        const int ones = a.get_bit(i) + b.get_bit(i) + c.get_bit(i);
+        EXPECT_EQ(m.get_bit(i), ones >= 2);
+    }
+    // Majority is symmetric and has the absorbing identities.
+    EXPECT_EQ(m, maj3(c, a, b));
+    EXPECT_EQ(maj3(a, b, TruthTable::zeros(n)), a & b);
+    EXPECT_EQ(maj3(a, b, TruthTable::ones(n)), a | b);
+    EXPECT_EQ(maj3(a, a, b), a);
+}
+
+TEST(TruthTable, IteMatchesMuxSemantics) {
+    std::mt19937_64 rng(23);
+    const int n = 7;
+    const TruthTable f = TruthTable::random(n, rng);
+    const TruthTable g = TruthTable::random(n, rng);
+    const TruthTable h = TruthTable::random(n, rng);
+    const TruthTable r = ite(f, g, h);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+        EXPECT_EQ(r.get_bit(m), f.get_bit(m) ? g.get_bit(m) : h.get_bit(m));
+    }
+}
+
+TEST(TruthTable, ToHexRoundTripsSmallFunctions) {
+    TruthTable f = TruthTable::zeros(3);
+    f.set_bit(0);
+    f.set_bit(7);
+    EXPECT_EQ(f.to_hex(), "81");
+    EXPECT_EQ(TruthTable::ones(4).to_hex(), "ffff");
+    EXPECT_EQ(TruthTable::zeros(1).to_hex(), "0");
+}
+
+TEST(TruthTable, FromFnAgreesWithPredicate) {
+    const int n = 8;
+    const TruthTable parity = TruthTable::from_fn(
+        n, [](std::uint64_t m) { return __builtin_parityll(m) != 0; });
+    TruthTable expected = TruthTable::zeros(n);
+    for (int v = 0; v < n; ++v) expected = expected ^ TruthTable::var(n, v);
+    EXPECT_EQ(parity, expected);
+}
+
+TEST(TruthTable, CountOnesIsMintermCount) {
+    const int n = 6;
+    const TruthTable f = TruthTable::var(n, 0) | TruthTable::var(n, 1);
+    EXPECT_EQ(f.count_ones(), 48u);  // 3/4 of 64
+    EXPECT_EQ(TruthTable::var(3, 2).count_ones(), 4u);
+}
+
+class TruthTableHighVarTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruthTableHighVarTest, CofactorAndOpsBeyondWordBoundary) {
+    const int n = GetParam();
+    std::mt19937_64 rng(n * 100 + 1);
+    const TruthTable f = TruthTable::random(n, rng);
+    const TruthTable g = TruthTable::random(n, rng);
+    // Shannon identity on the top variable (word-granular path).
+    const TruthTable x = TruthTable::var(n, n - 1);
+    EXPECT_EQ(ite(x, f.cofactor(n - 1, true), f.cofactor(n - 1, false)), f);
+    // De Morgan.
+    EXPECT_EQ(~(f & g), ~f | ~g);
+    // XOR via (f|g) & ~(f&g).
+    EXPECT_EQ(f ^ g, (f | g) & ~(f & g));
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, TruthTableHighVarTest,
+                         ::testing::Values(6, 7, 8, 10, 12));
+
+}  // namespace
+}  // namespace bdsmaj::tt

@@ -1,0 +1,169 @@
+// bdsmaj command-line synthesis tool.
+//
+//   bdsmaj_cli [options] <input.blif | @benchmark-name>
+//
+//   --flow bdsmaj|bdspga|abc|dc   synthesis flow (default bdsmaj)
+//   --out FILE                    write the optimized network as BLIF
+//   --map-out FILE                write the mapped netlist as BLIF
+//   --no-maj                      shorthand for --flow bdspga
+//   --no-reorder                  skip per-supernode sifting
+//   --k-local F / --k-global F    majority selection sizing factors
+//   --iterations N                balancing iteration limit
+//   --quick                       reduced widths for @benchmarks
+//   --verify                      equivalence-check outputs (default on)
+//   --quiet                       only print the summary line
+//
+// `@name` uses a built-in generator from the paper's suite, e.g.
+// `bdsmaj_cli @C6288` or `bdsmaj_cli "@Div 18 bit"`.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "benchgen/suite.hpp"
+#include "flows/flows.hpp"
+#include "network/blif.hpp"
+#include "network/simulate.hpp"
+
+namespace {
+
+using namespace bdsmaj;
+
+struct Options {
+    std::string flow = "bdsmaj";
+    std::string input;
+    std::optional<std::string> out;
+    std::optional<std::string> map_out;
+    bool reorder = true;
+    bool quick = false;
+    bool verify = true;
+    bool quiet = false;
+    decomp::MajDecompParams maj;
+};
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: bdsmaj_cli [--flow bdsmaj|bdspga|abc|dc] [--out f.blif]\n"
+                 "                  [--map-out f.blif] [--no-maj] [--no-reorder]\n"
+                 "                  [--k-local F] [--k-global F] [--iterations N]\n"
+                 "                  [--quick] [--no-verify] [--quiet]\n"
+                 "                  <input.blif | @benchmark>\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--flow") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.flow = v;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.out = v;
+        } else if (arg == "--map-out") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.map_out = v;
+        } else if (arg == "--no-maj") {
+            opt.flow = "bdspga";
+        } else if (arg == "--no-reorder") {
+            opt.reorder = false;
+        } else if (arg == "--k-local") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.maj.k_local = std::atof(v);
+        } else if (arg == "--k-global") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.maj.k_global = std::atof(v);
+        } else if (arg == "--iterations") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.maj.max_iterations = std::atoi(v);
+        } else if (arg == "--quick") {
+            opt.quick = true;
+        } else if (arg == "--no-verify") {
+            opt.verify = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage();
+        } else {
+            opt.input = arg;
+        }
+    }
+    if (opt.input.empty()) return usage();
+
+    net::Network input;
+    try {
+        if (opt.input[0] == '@') {
+            input = benchgen::benchmark_by_name(opt.input.substr(1), opt.quick);
+        } else {
+            input = net::read_blif_file(opt.input);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error reading input: %s\n", e.what());
+        return 1;
+    }
+
+    flows::SynthesisResult result;
+    if (opt.flow == "abc") {
+        result = flows::flow_abc(input);
+    } else if (opt.flow == "dc") {
+        result = flows::flow_dc(input);
+    } else if (opt.flow == "bdsmaj" || opt.flow == "bdspga") {
+        decomp::DecompFlowParams params;
+        params.engine.use_majority = opt.flow == "bdsmaj";
+        params.engine.maj = opt.maj;
+        params.reorder = opt.reorder;
+        decomp::DecompFlowResult d = decomp::decompose_network(input, params);
+        result.flow_name = opt.flow == "bdsmaj" ? "BDS-MAJ" : "BDS-PGA";
+        result.engine_stats = d.engine_stats;
+        result.optimized = std::move(d.network);
+        result.optimized_stats = result.optimized.stats();
+        result.optimize_seconds = d.seconds;
+        result.mapped = mapping::map_network(result.optimized, flows::default_library());
+    } else {
+        std::fprintf(stderr, "unknown flow %s\n", opt.flow.c_str());
+        return usage();
+    }
+
+    bool equivalent = true;
+    if (opt.verify) {
+        const auto eq1 = net::check_equivalent(input, result.optimized);
+        const auto eq2 = net::check_equivalent(input, result.mapped.netlist);
+        equivalent = eq1.equivalent && eq2.equivalent;
+        if (!equivalent) {
+            std::fprintf(stderr, "VERIFICATION FAILED: %s %s\n", eq1.reason.c_str(),
+                         eq2.reason.c_str());
+        }
+    }
+
+    if (!opt.quiet) {
+        const net::NetworkStats s = result.optimized_stats;
+        std::printf("flow %s on %s\n", result.flow_name.c_str(),
+                    input.model_name().c_str());
+        std::printf("  decomposed: AND=%d OR=%d XOR=%d XNOR=%d MAJ=%d total=%d\n",
+                    s.and_nodes, s.or_nodes, s.xor_nodes, s.xnor_nodes, s.maj_nodes,
+                    s.total());
+    }
+    std::printf("%s: area=%.2fum2 gates=%d delay=%.3fns opt_time=%.3fs%s\n",
+                input.model_name().c_str(), result.mapped.area_um2,
+                result.mapped.gate_count, result.mapped.delay_ns,
+                result.optimize_seconds,
+                opt.verify ? (equivalent ? " [verified]" : " [MISMATCH]") : "");
+
+    if (opt.out) net::write_blif_file(result.optimized, *opt.out);
+    if (opt.map_out) net::write_blif_file(result.mapped.netlist, *opt.map_out);
+    return equivalent ? 0 : 1;
+}
