@@ -1,0 +1,350 @@
+// Reproducible BDD-core throughput harness. Emits BENCH_core.json so every
+// PR has a recorded perf trajectory (see docs/performance.md).
+//
+// Sections:
+//   * core ops   — top-level ITE / AND / XOR / MAJ calls per second over a
+//                  deterministic pool of random functions (mixed cold/warm:
+//                  exactly what the decomposition engine sees);
+//   * sift       — nodes per second through Rudell sifting;
+//   * table2     — end-to-end Table II synthesis (quick widths): all four
+//                  flows plus equivalence checks, the same work
+//                  bench/table2_synthesis.cpp does;
+//   * ablation   — the dominator-heavy m-dominator ablation sweep of
+//                  bench/ablation_mdom.cpp.
+//
+// Fingerprints (gate counts, EngineStats) are recorded alongside the wall
+// times so that perf work can be checked to leave synthesis results
+// bit-identical.
+//
+// Usage: bench_core [output.json]
+//   BDSMAJ_BENCH_SMOKE=1  reduced iteration counts / circuit subset (CI)
+//
+// The default output name is deliberately NOT BENCH_core.json: the
+// committed BENCH_core.json is a curated document (baseline + current +
+// smoke_reference blocks) that tools/ci.sh depends on; a raw harness run
+// must not clobber it. To refresh the committed file, merge a fresh run
+// into the appropriate block (see docs/performance.md).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "mdom_sweep.hpp"
+#include "benchgen/suite.hpp"
+#include "decomp/flow.hpp"
+#include "flows/flows.hpp"
+#include "network/simulate.hpp"
+#include "tt/truth_table.hpp"
+
+namespace {
+
+using namespace bdsmaj;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool smoke_mode() {
+    const char* env = std::getenv("BDSMAJ_BENCH_SMOKE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// ---------------------------------------------------------------------------
+// Core-operation throughput.
+// ---------------------------------------------------------------------------
+
+struct OpsResult {
+    double ite_ops_per_sec = 0;
+    double and_ops_per_sec = 0;
+    double xor_ops_per_sec = 0;
+    double maj_ops_per_sec = 0;
+};
+
+OpsResult bench_core_ops(int rounds) {
+    constexpr int kVars = 12;
+    constexpr int kPool = 32;
+    bdd::Manager mgr(kVars);
+    std::mt19937_64 rng(42);
+    std::vector<bdd::Bdd> pool;
+    pool.reserve(kPool);
+    for (int i = 0; i < kPool; ++i) {
+        pool.push_back(mgr.from_truth_table(tt::TruthTable::random(kVars, rng)));
+    }
+
+    OpsResult out;
+    const auto run_pairwise = [&](auto&& op, double* result) {
+        long ops = 0;
+        const auto start = Clock::now();
+        for (int r = 0; r < rounds; ++r) {
+            for (int i = 0; i < kPool; ++i) {
+                for (int j = i + 1; j < kPool; ++j) {
+                    const bdd::Bdd v = op(pool[static_cast<std::size_t>(i)],
+                                          pool[static_cast<std::size_t>(j)]);
+                    ++ops;
+                    if (!v.valid()) std::abort();
+                }
+            }
+        }
+        *result = static_cast<double>(ops) / seconds_since(start);
+    };
+    run_pairwise([&](const bdd::Bdd& a, const bdd::Bdd& b) { return mgr.apply_and(a, b); },
+                 &out.and_ops_per_sec);
+    run_pairwise([&](const bdd::Bdd& a, const bdd::Bdd& b) { return mgr.apply_xor(a, b); },
+                 &out.xor_ops_per_sec);
+    // Same pairwise sample size as AND/XOR (the third operand rotates), so
+    // the smoke configuration is not dominated by a few cold calls.
+    {
+        long ops = 0;
+        const auto start = Clock::now();
+        for (int r = 0; r < rounds; ++r) {
+            for (int i = 0; i < kPool; ++i) {
+                for (int j = i + 1; j < kPool; ++j) {
+                    const bdd::Bdd& f = pool[static_cast<std::size_t>(i)];
+                    const bdd::Bdd& g = pool[static_cast<std::size_t>(j)];
+                    const bdd::Bdd& h = pool[static_cast<std::size_t>((i + j) % kPool)];
+                    const bdd::Bdd v = mgr.ite(f, g, h);
+                    ++ops;
+                    if (!v.valid()) std::abort();
+                }
+            }
+        }
+        out.ite_ops_per_sec = static_cast<double>(ops) / seconds_since(start);
+    }
+    {
+        long ops = 0;
+        const auto start = Clock::now();
+        for (int r = 0; r < rounds; ++r) {
+            for (int i = 0; i < kPool; ++i) {
+                for (int j = i + 1; j < kPool; ++j) {
+                    const bdd::Bdd& a = pool[static_cast<std::size_t>(i)];
+                    const bdd::Bdd& b = pool[static_cast<std::size_t>(j)];
+                    const bdd::Bdd& c = pool[static_cast<std::size_t>((i * 3 + j) % kPool)];
+                    const bdd::Bdd v = mgr.maj(a, b, c);
+                    ++ops;
+                    if (!v.valid()) std::abort();
+                }
+            }
+        }
+        out.maj_ops_per_sec = static_cast<double>(ops) / seconds_since(start);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sifting throughput (nodes processed per second).
+// ---------------------------------------------------------------------------
+
+double bench_sift(int reps) {
+    constexpr int kVars = 14;
+    std::mt19937_64 rng(13);
+    const tt::TruthTable t = tt::TruthTable::random(kVars, rng);
+    double total_seconds = 0;
+    long total_nodes = 0;
+    for (int r = 0; r < reps; ++r) {
+        bdd::Manager mgr(kVars);
+        const bdd::Bdd f = mgr.from_truth_table(t);
+        total_nodes += static_cast<long>(mgr.live_node_count());
+        const auto start = Clock::now();
+        mgr.sift();
+        total_seconds += seconds_since(start);
+        if (!f.valid()) std::abort();
+    }
+    return static_cast<double>(total_nodes) / total_seconds;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end Table II synthesis (quick widths), as table2_synthesis does.
+// ---------------------------------------------------------------------------
+
+struct Table2Result {
+    double seconds = 0;
+    int verified = 0;
+    int circuits = 0;
+    long maj_gates = 0;
+    double maj_area = 0;
+    long pga_gates = 0, abc_gates = 0, dc_gates = 0;
+    decomp::EngineStats maj_stats;
+};
+
+Table2Result bench_table2(bool smoke) {
+    std::vector<std::string> names = benchgen::benchmark_names();
+    if (smoke) names.resize(4);
+    std::vector<net::Network> inputs;
+    for (const auto& name : names) {
+        inputs.push_back(benchgen::benchmark_by_name(name, /*quick=*/true));
+    }
+    Table2Result out;
+    out.circuits = static_cast<int>(names.size());
+    const auto start = Clock::now();
+    for (const net::Network& input : inputs) {
+        const auto results = flows::run_all_flows(input);
+        bool all_ok = true;
+        for (const auto& r : results) {
+            if (!net::check_equivalent(input, r.mapped.netlist, 20, 32).equivalent) {
+                all_ok = false;
+            }
+        }
+        if (all_ok) ++out.verified;
+        out.maj_gates += results[0].mapped.gate_count;
+        out.maj_area += results[0].mapped.area_um2;
+        out.maj_stats += results[0].engine_stats;
+        out.pga_gates += results[1].mapped.gate_count;
+        out.abc_gates += results[2].mapped.gate_count;
+        out.dc_gates += results[3].mapped.gate_count;
+    }
+    out.seconds = seconds_since(start);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dominator-heavy ablation sweep, as ablation_mdom does.
+// ---------------------------------------------------------------------------
+
+struct AblationResult {
+    double seconds = 0;
+    long total_nodes = 0;
+    long maj_nodes = 0;
+    int equivalent = 0;
+    int runs = 0;
+};
+
+AblationResult bench_ablation_mdom(bool smoke) {
+    // Sweep definition shared with bench/ablation_mdom.cpp via
+    // mdom_sweep.hpp, so the gated fingerprints track the reproduction
+    // binary exactly.
+    std::vector<std::string> circuits = bench::mdom_sweep_circuits();
+    if (smoke) circuits.resize(2);
+    std::vector<net::Network> inputs;
+    for (const auto& name : circuits) {
+        inputs.push_back(benchgen::benchmark_by_name(name, /*quick=*/true));
+    }
+    const std::vector<bench::MdomSweepConfig> configs = bench::mdom_sweep_configs();
+    // Only the decomposition sweep is timed; the equivalence oracle (which
+    // for multiplier benchmarks must build an intrinsically exponential
+    // BDD) runs as an untimed sign-off afterwards.
+    AblationResult out;
+    std::vector<net::Network> results;
+    const auto start = Clock::now();
+    for (const bench::MdomSweepConfig& cfg : configs) {
+        for (const net::Network& input : inputs) {
+            decomp::DecompFlowParams params;
+            params.engine.maj.min_then_fanin = cfg.then_fanin;
+            params.engine.maj.min_else_fanin = cfg.else_fanin;
+            params.engine.maj.max_candidates = cfg.cap;
+            decomp::DecompFlowResult r = decomp::decompose_network(input, params);
+            const net::NetworkStats s = r.network.stats();
+            out.total_nodes += s.total();
+            out.maj_nodes += s.maj_nodes;
+            results.push_back(std::move(r.network));
+            ++out.runs;
+        }
+    }
+    out.seconds = seconds_since(start);
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (const net::Network& input : inputs) {
+            if (net::check_equivalent(input, results[k++], 20, 16).equivalent) {
+                ++out.equivalent;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = smoke_mode();
+    const std::string out_path = argc > 1 ? argv[1] : "bench_out.json";
+    const int op_rounds = smoke ? 2 : 12;
+    const int sift_reps = smoke ? 2 : 8;
+
+    std::printf("bench_core: core ops (%d rounds)...\n", op_rounds);
+    const OpsResult ops = bench_core_ops(op_rounds);
+    std::printf("  ITE %.0f/s AND %.0f/s XOR %.0f/s MAJ %.0f/s\n",
+                ops.ite_ops_per_sec, ops.and_ops_per_sec, ops.xor_ops_per_sec,
+                ops.maj_ops_per_sec);
+
+    std::printf("bench_core: sifting (%d reps)...\n", sift_reps);
+    const double sift_nps = bench_sift(sift_reps);
+    std::printf("  %.0f nodes/s\n", sift_nps);
+
+    std::printf("bench_core: table2 end-to-end (quick%s)...\n",
+                smoke ? ", smoke subset" : "");
+    const Table2Result t2 = bench_table2(smoke);
+    std::printf("  %.2f s, %d/%d verified, MAJ gates %ld\n", t2.seconds,
+                t2.verified, t2.circuits, t2.maj_gates);
+
+    std::printf("bench_core: ablation_mdom sweep%s...\n",
+                smoke ? " (smoke subset)" : "");
+    const AblationResult ab = bench_ablation_mdom(smoke);
+    std::printf("  %.2f s, %d/%d equivalent, total %ld maj %ld\n", ab.seconds,
+                ab.equivalent, ab.runs, ab.total_nodes, ab.maj_nodes);
+
+    const bdd::CacheStats cs = [] {
+        bdd::Manager mgr(10);
+        std::mt19937_64 rng(7);
+        bdd::Bdd acc = mgr.zero();
+        for (int i = 0; i < 16; ++i) {
+            acc = mgr.apply_xor(acc, mgr.from_truth_table(tt::TruthTable::random(10, rng)));
+        }
+        return mgr.cache_stats();
+    }();
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_core: cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v1\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"ops_per_sec\": {\n");
+    std::fprintf(f, "    \"ite\": %.1f,\n", ops.ite_ops_per_sec);
+    std::fprintf(f, "    \"and\": %.1f,\n", ops.and_ops_per_sec);
+    std::fprintf(f, "    \"xor\": %.1f,\n", ops.xor_ops_per_sec);
+    std::fprintf(f, "    \"maj\": %.1f\n", ops.maj_ops_per_sec);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sift_nodes_per_sec\": %.1f,\n", sift_nps);
+    std::fprintf(f, "  \"table2_synthesis\": {\n");
+    std::fprintf(f, "    \"seconds\": %.3f,\n", t2.seconds);
+    std::fprintf(f, "    \"circuits\": %d,\n", t2.circuits);
+    std::fprintf(f, "    \"verified\": %d,\n", t2.verified);
+    std::fprintf(f, "    \"fingerprint\": {\n");
+    std::fprintf(f, "      \"maj_gates\": %ld,\n", t2.maj_gates);
+    std::fprintf(f, "      \"maj_area\": %.4f,\n", t2.maj_area);
+    std::fprintf(f, "      \"pga_gates\": %ld,\n", t2.pga_gates);
+    std::fprintf(f, "      \"abc_gates\": %ld,\n", t2.abc_gates);
+    std::fprintf(f, "      \"dc_gates\": %ld,\n", t2.dc_gates);
+    std::fprintf(f, "      \"engine_stats\": [%d, %d, %d, %d, %d, %d, %d, %d]\n",
+                 t2.maj_stats.and_steps, t2.maj_stats.or_steps, t2.maj_stats.xor_steps,
+                 t2.maj_stats.maj_steps, t2.maj_stats.mux_steps,
+                 t2.maj_stats.maj_attempts, t2.maj_stats.maj_rejected,
+                 t2.maj_stats.literal_leaves);
+    std::fprintf(f, "    }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"ablation_mdom\": {\n");
+    std::fprintf(f, "    \"seconds\": %.3f,\n", ab.seconds);
+    std::fprintf(f, "    \"runs\": %d,\n", ab.runs);
+    std::fprintf(f, "    \"equivalent\": %d,\n", ab.equivalent);
+    std::fprintf(f, "    \"fingerprint\": {\n");
+    std::fprintf(f, "      \"total_nodes\": %ld,\n", ab.total_nodes);
+    std::fprintf(f, "      \"maj_nodes\": %ld\n", ab.maj_nodes);
+    std::fprintf(f, "    }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"cache\": {\n");
+    std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(cs.hits));
+    std::fprintf(f, "    \"misses\": %llu,\n", static_cast<unsigned long long>(cs.misses));
+    std::fprintf(f, "    \"inserts\": %llu,\n", static_cast<unsigned long long>(cs.inserts));
+    std::fprintf(f, "    \"collisions\": %llu\n", static_cast<unsigned long long>(cs.collisions));
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("bench_core: wrote %s\n", out_path.c_str());
+    return 0;
+}

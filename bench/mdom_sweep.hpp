@@ -1,0 +1,31 @@
+#pragma once
+// The m-dominator ablation sweep grid (circuits + knob configurations),
+// shared by the standalone reproduction harness (ablation_mdom.cpp) and
+// the perf-trajectory harness (bench_main.cpp) so the gated
+// BENCH_core.json fingerprints track the same grid the reproduction
+// binary runs. The run loops themselves still live in each binary (they
+// aggregate differently); keep their params wiring in sync when editing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bdsmaj::bench {
+
+struct MdomSweepConfig {
+    std::uint32_t then_fanin;
+    std::uint32_t else_fanin;
+    int cap;
+};
+
+/// Circuits of the sweep, by Table I row label (quick widths).
+inline std::vector<std::string> mdom_sweep_circuits() {
+    return {"alu2", "C1355", "Wallace 16 bit", "CLA 64 bit"};
+}
+
+/// Fan-in threshold / candidate-cap grid of the sweep (SIII-F knobs).
+inline std::vector<MdomSweepConfig> mdom_sweep_configs() {
+    return {{1, 1, 2}, {1, 1, 4}, {1, 1, 8}, {1, 1, 16}, {2, 1, 8}, {2, 2, 8}};
+}
+
+}  // namespace bdsmaj::bench

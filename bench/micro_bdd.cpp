@@ -8,12 +8,78 @@
 #include <random>
 
 #include "bdd/bdd.hpp"
+#include "decomp/dominators.hpp"
 #include "decomp/engine.hpp"
 #include "tt/truth_table.hpp"
 
 namespace {
 
 using namespace bdsmaj;
+
+/// Deterministic pool of random-function BDDs in one manager.
+std::vector<bdd::Bdd> make_pool(bdd::Manager& mgr, int vars, int count,
+                                std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<bdd::Bdd> pool;
+    pool.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        pool.push_back(mgr.from_truth_table(tt::TruthTable::random(vars, rng)));
+    }
+    return pool;
+}
+
+void BM_ApplyAnd(benchmark::State& state) {
+    const int vars = static_cast<int>(state.range(0));
+    bdd::Manager mgr(vars);
+    const auto pool = make_pool(mgr, vars, 24, 23);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& a = pool[i % pool.size()];
+        const auto& b = pool[(i + 7) % pool.size()];
+        benchmark::DoNotOptimize(mgr.apply_and(a, b));
+        ++i;
+    }
+}
+BENCHMARK(BM_ApplyAnd)->DenseRange(8, 14, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_ApplyXor(benchmark::State& state) {
+    const int vars = static_cast<int>(state.range(0));
+    bdd::Manager mgr(vars);
+    const auto pool = make_pool(mgr, vars, 24, 29);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& a = pool[i % pool.size()];
+        const auto& b = pool[(i + 11) % pool.size()];
+        benchmark::DoNotOptimize(mgr.apply_xor(a, b));
+        ++i;
+    }
+}
+BENCHMARK(BM_ApplyXor)->DenseRange(8, 14, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_DagSize(benchmark::State& state) {
+    // Stamp-based traversal throughput (was an unordered_set per call).
+    const int vars = static_cast<int>(state.range(0));
+    bdd::Manager mgr(vars);
+    const auto pool = make_pool(mgr, vars, 8, 31);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.dag_size(pool[i++ % pool.size()]));
+    }
+}
+BENCHMARK(BM_DagSize)->DenseRange(8, 16, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_DominatorAnalysis(benchmark::State& state) {
+    // Full path-parity analysis plus the one-pass node-size computation.
+    const int vars = static_cast<int>(state.range(0));
+    bdd::Manager mgr(vars);
+    const auto pool = make_pool(mgr, vars, 8, 37);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        decomp::DominatorAnalysis analysis(mgr, pool[i++ % pool.size()]);
+        benchmark::DoNotOptimize(analysis.node_sizes().size());
+    }
+}
+BENCHMARK(BM_DominatorAnalysis)->DenseRange(8, 12, 2)->Unit(benchmark::kMicrosecond);
 
 void BM_FromTruthTable(benchmark::State& state) {
     const int vars = static_cast<int>(state.range(0));

@@ -1,6 +1,5 @@
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 
 #include "aig/opt.hpp"
 
@@ -27,11 +26,18 @@ private:
 
 class Balancer {
 public:
-    explicit Balancer(const Aig& in) : in_(in), fanout_(in.fanout_counts()) {}
+    explicit Balancer(const Aig& in)
+        : in_(in),
+          fanout_(in.fanout_counts()),
+          memo_(in.node_count(), kLitInvalid),
+          input_pos_(in.node_count(), 0) {}
 
     Aig run() {
         for (std::size_t i = 0; i < in_.input_count(); ++i) {
             input_map_.push_back(out_.add_input());
+        }
+        for (std::size_t i = 0; i < in_.inputs().size(); ++i) {
+            input_pos_[in_.inputs()[i]] = i;
         }
         for (const Lit po : in_.outputs()) out_.add_output(copy(po));
         return std::move(out_);
@@ -43,11 +49,10 @@ private:
         const bool c = lit_complemented(l);
         if (n == kConstNode) return c ? kLitTrue : kLitFalse;
         if (in_.is_input(n)) {
-            const auto pos = input_position(n);
+            const auto pos = input_pos_[n];
             return c ? lit_not(input_map_[pos]) : input_map_[pos];
         }
-        const auto it = memo_.find(n);
-        if (it != memo_.end()) return c ? lit_not(it->second) : it->second;
+        if (memo_[n] != kLitInvalid) return c ? lit_not(memo_[n]) : memo_[n];
 
         // Collect the maximal single-fanout AND tree rooted at n; shared or
         // complemented branches become leaves (preserving their sharing).
@@ -82,21 +87,16 @@ private:
             heap.push(out_.land(a, b));
         }
         const Lit result = heap.top();
-        memo_.emplace(n, result);
+        memo_[n] = result;
         return c ? lit_not(result) : result;
-    }
-
-    std::size_t input_position(NodeId n) const {
-        const auto& ins = in_.inputs();
-        return static_cast<std::size_t>(
-            std::find(ins.begin(), ins.end(), n) - ins.begin());
     }
 
     const Aig& in_;
     std::vector<std::uint32_t> fanout_;
     Aig out_;
     std::vector<Lit> input_map_;
-    std::unordered_map<NodeId, Lit> memo_;
+    std::vector<Lit> memo_;               // by input NodeId; kLitInvalid = unset
+    std::vector<std::size_t> input_pos_;  // by input NodeId
     LevelTracker levels_;
 };
 

@@ -1,6 +1,5 @@
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "aig/opt.hpp"
 #include "network/factor.hpp"
@@ -18,15 +17,22 @@ namespace {
 class Rewriter {
 public:
     Rewriter(const Aig& in, const RewriteParams& params)
-        : in_(in), params_(params), fanout_(in.fanout_counts()) {}
+        : in_(in),
+          params_(params),
+          fanout_(in.fanout_counts()),
+          memo_(in.node_count(), kLitInvalid),
+          input_pos_(in.node_count(), 0),
+          cone_stamp_(in.node_count(), 0),
+          aux_stamp_(in.node_count(), 0),
+          slot_stamp_(in.node_count(), 0),
+          slot_value_(in.node_count(), 0) {}
 
     Aig run() {
         for (std::size_t i = 0; i < in_.input_count(); ++i) {
             input_map_.push_back(out_.add_input());
         }
-        input_pos_.reserve(in_.inputs().size());
         for (std::size_t i = 0; i < in_.inputs().size(); ++i) {
-            input_pos_.emplace(in_.inputs()[i], i);
+            input_pos_[in_.inputs()[i]] = i;
         }
         for (const Lit po : in_.outputs()) out_.add_output(copy(po));
         return std::move(out_);
@@ -76,9 +82,12 @@ private:
     }
 
     /// Internal cone nodes between n (inclusive) and the cut leaves.
-    std::vector<NodeId> cone_of(NodeId n, const std::vector<NodeId>& cut) const {
-        std::unordered_set<NodeId> leaf_set(cut.begin(), cut.end());
-        std::unordered_set<NodeId> seen{n};
+    /// Membership tests run on generation-stamped scratch arrays (leaves in
+    /// cone_stamp_, visited in aux_stamp_) — no per-call hash sets.
+    std::vector<NodeId> cone_of(NodeId n, const std::vector<NodeId>& cut) {
+        const std::uint32_t gen = ++gen_;
+        for (const NodeId leaf : cut) cone_stamp_[leaf] = gen;
+        aux_stamp_[n] = gen;
         std::vector<NodeId> stack{n};
         std::vector<NodeId> cone;
         while (!stack.empty()) {
@@ -87,10 +96,11 @@ private:
             cone.push_back(v);
             for (const Lit f : {in_.fanin0(v), in_.fanin1(v)}) {
                 const NodeId fn = lit_node(f);
-                if (fn == kConstNode || leaf_set.contains(fn) || seen.contains(fn)) {
+                if (fn == kConstNode || cone_stamp_[fn] == gen ||
+                    aux_stamp_[fn] == gen) {
                     continue;
                 }
-                seen.insert(fn);
+                aux_stamp_[fn] = gen;
                 stack.push_back(fn);
             }
         }
@@ -99,70 +109,131 @@ private:
     }
 
     /// Number of cone nodes that die when n is replaced: nodes all of whose
-    /// fanouts lie inside the removable set (seeded by n itself).
-    int mffc_size(NodeId n, const std::vector<NodeId>& cone) const {
-        std::unordered_set<NodeId> removable{n};
-        bool changed = true;
-        while (changed) {
-            changed = false;
-            for (const NodeId v : cone) {
-                if (removable.contains(v)) continue;
-                // v is removable if every fanout reference comes from
-                // removable nodes. Approximate with counts: all fanouts of v
-                // must be cone members that are removable and account for
-                // the full fanout count.
-                std::uint32_t refs_from_removable = 0;
-                for (const NodeId u : cone) {
-                    if (!removable.contains(u)) continue;
-                    refs_from_removable +=
-                        static_cast<std::uint32_t>(lit_node(in_.fanin0(u)) == v) +
-                        static_cast<std::uint32_t>(lit_node(in_.fanin1(u)) == v);
+    /// fanouts lie inside the removable set (seeded by n itself). Worklist
+    /// propagation over stamped reference counters; reaches the same fixed
+    /// point as the naive "rescan the cone until stable" formulation, one
+    /// fanin reference at a time instead of O(|cone|^2) per round.
+    int mffc_size(NodeId n, const std::vector<NodeId>& cone) {
+        const std::uint32_t gen = ++gen_;
+        for (const NodeId v : cone) cone_stamp_[v] = gen;
+        aux_stamp_[n] = gen;  // aux = removable
+        std::vector<NodeId> worklist{n};
+        int count = 1;
+        while (!worklist.empty()) {
+            const NodeId u = worklist.back();
+            worklist.pop_back();
+            for (const Lit f : {in_.fanin0(u), in_.fanin1(u)}) {
+                const NodeId v = lit_node(f);
+                if (cone_stamp_[v] != gen || aux_stamp_[v] == gen) continue;
+                if (slot_stamp_[v] != gen) {
+                    slot_stamp_[v] = gen;
+                    slot_value_[v] = 0;
                 }
-                if (refs_from_removable == fanout_[v] && fanout_[v] > 0) {
-                    removable.insert(v);
-                    changed = true;
+                if (++slot_value_[v] == fanout_[v]) {
+                    aux_stamp_[v] = gen;
+                    ++count;
+                    worklist.push_back(v);
                 }
             }
         }
-        return static_cast<int>(removable.size());
+        return count;
     }
 
     /// Truth table of n over the ordered cut leaves.
     tt::TruthTable cut_function(NodeId n, const std::vector<NodeId>& cut,
-                                const std::vector<NodeId>& cone) const {
+                                const std::vector<NodeId>& cone) {
         const int k = static_cast<int>(cut.size());
-        std::unordered_map<NodeId, tt::TruthTable> value;
-        for (int i = 0; i < k; ++i) value.emplace(cut[static_cast<std::size_t>(i)], tt::TruthTable::var(k, i));
+        const std::uint32_t gen = ++gen_;
+        // slot_value_[v] indexes into a dense table vector while stamped.
+        std::vector<tt::TruthTable> tables;
+        tables.reserve(cut.size() + cone.size());
+        for (int i = 0; i < k; ++i) {
+            const NodeId leaf = cut[static_cast<std::size_t>(i)];
+            slot_stamp_[leaf] = gen;
+            slot_value_[leaf] = static_cast<std::uint32_t>(tables.size());
+            tables.push_back(tt::TruthTable::var(k, i));
+        }
         const auto eval = [&](Lit l) {
-            const tt::TruthTable& t = value.at(lit_node(l));
+            const tt::TruthTable& t = tables[slot_value_[lit_node(l)]];
             return lit_complemented(l) ? ~t : t;
         };
         for (const NodeId v : cone) {
-            if (value.contains(v)) continue;
-            value.emplace(v, eval(in_.fanin0(v)) & eval(in_.fanin1(v)));
+            if (slot_stamp_[v] == gen) continue;
+            tt::TruthTable t = eval(in_.fanin0(v)) & eval(in_.fanin1(v));
+            slot_stamp_[v] = gen;
+            slot_value_[v] = static_cast<std::uint32_t>(tables.size());
+            tables.push_back(std::move(t));
         }
-        return value.at(n);
+        return tables[slot_value_[n]];
     }
 
-    /// Build the ISOP factored form of `function` over new-AIG leaf
-    /// literals; returns the literal computing it. Datapath circuits repeat
-    /// the same cut functions (full adders, carries) thousands of times, so
-    /// covers are cached by function.
+    /// A compiled factored form: the factor_generic callback sequence
+    /// recorded as a tiny straight-line program over leaf positions.
+    /// Datapath circuits repeat the same cut functions (full adders,
+    /// carries) thousands of times, and the rewriting gain test builds
+    /// every candidate twice (trial + commit); replaying the program skips
+    /// the ISOP and divisor search entirely on every repeat.
+    struct FactorInstr {
+        enum Op : std::uint8_t { kConst0, kConst1, kLit, kAnd, kOr };
+        Op op;
+        std::uint32_t a = 0;  // kLit: leaf position; kAnd/kOr: operand index
+        std::uint32_t b = 0;  // kLit: 1 = positive;  kAnd/kOr: operand index
+    };
+    struct FactorProgram {
+        std::vector<FactorInstr> instrs;
+        std::uint32_t result = 0;  // index of the output value
+    };
+
+    static FactorProgram compile_factored(const tt::TruthTable& function) {
+        const net::Sop cover = net::Sop::isop(function);
+        FactorProgram prog;
+        const auto emit = [&prog](FactorInstr instr) {
+            prog.instrs.push_back(instr);
+            return static_cast<std::uint32_t>(prog.instrs.size() - 1);
+        };
+        prog.result = net::detail::factor_generic(
+            cover.cubes(),
+            [&](std::size_t pos, bool positive) {
+                return emit({FactorInstr::kLit, static_cast<std::uint32_t>(pos),
+                             positive ? 1u : 0u});
+            },
+            [&](std::uint32_t x, std::uint32_t y) {
+                return emit({FactorInstr::kAnd, x, y});
+            },
+            [&](std::uint32_t x, std::uint32_t y) {
+                return emit({FactorInstr::kOr, x, y});
+            },
+            [&](bool value) {
+                return emit({value ? FactorInstr::kConst1 : FactorInstr::kConst0});
+            });
+        return prog;
+    }
+
     Lit build_factored(const tt::TruthTable& function, const std::vector<Lit>& leaves) {
         std::string key = function.to_hex();
         key += ':';
         key += std::to_string(function.num_vars());
-        auto [cache_it, fresh] = isop_cache_.try_emplace(std::move(key));
-        if (fresh) cache_it->second = net::Sop::isop(function);
-        const net::Sop& cover = cache_it->second;
-        return net::detail::factor_generic(
-            cover.cubes(),
-            [&](std::size_t pos, bool positive) {
-                return positive ? leaves[pos] : lit_not(leaves[pos]);
-            },
-            [&](Lit a, Lit b) { return out_.land(a, b); },
-            [&](Lit a, Lit b) { return out_.lor(a, b); },
-            [](bool value) { return value ? kLitTrue : kLitFalse; });
+        auto [cache_it, fresh] = factor_cache_.try_emplace(std::move(key));
+        if (fresh) cache_it->second = compile_factored(function);
+        const FactorProgram& prog = cache_it->second;
+        values_.resize(prog.instrs.size());
+        for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+            const FactorInstr& instr = prog.instrs[i];
+            switch (instr.op) {
+                case FactorInstr::kConst0: values_[i] = kLitFalse; break;
+                case FactorInstr::kConst1: values_[i] = kLitTrue; break;
+                case FactorInstr::kLit:
+                    values_[i] = instr.b != 0 ? leaves[instr.a] : lit_not(leaves[instr.a]);
+                    break;
+                case FactorInstr::kAnd:
+                    values_[i] = out_.land(values_[instr.a], values_[instr.b]);
+                    break;
+                case FactorInstr::kOr:
+                    values_[i] = out_.lor(values_[instr.a], values_[instr.b]);
+                    break;
+            }
+        }
+        return values_[prog.result];
     }
 
     // ---- main copy recursion ----------------------------------------------
@@ -172,11 +243,11 @@ private:
         const bool c = lit_complemented(l);
         if (n == kConstNode) return c ? kLitTrue : kLitFalse;
         if (in_.is_input(n)) {
-            const Lit mapped = input_map_[input_pos_.at(n)];
+            const Lit mapped = input_map_[input_pos_[n]];
             return c ? lit_not(mapped) : mapped;
         }
-        if (const auto it = memo_.find(n); it != memo_.end()) {
-            return c ? lit_not(it->second) : it->second;
+        if (memo_[n] != kLitInvalid) {
+            return c ? lit_not(memo_[n]) : memo_[n];
         }
 
         int best_cost = 0;
@@ -217,7 +288,7 @@ private:
             const Lit f1 = copy(in_.fanin1(n));
             result = out_.land(f0, f1);
         }
-        memo_.emplace(n, result);
+        memo_[n] = result;
         return c ? lit_not(result) : result;
     }
 
@@ -226,9 +297,16 @@ private:
     std::vector<std::uint32_t> fanout_;
     Aig out_;
     std::vector<Lit> input_map_;
-    std::unordered_map<NodeId, std::size_t> input_pos_;
-    std::unordered_map<NodeId, Lit> memo_;
-    std::unordered_map<std::string, net::Sop> isop_cache_;
+    std::vector<Lit> memo_;                   // by input NodeId; kLitInvalid = unset
+    std::vector<std::size_t> input_pos_;      // by input NodeId
+    // Generation-stamped scratch over input NodeIds (see gen_).
+    std::vector<std::uint32_t> cone_stamp_;
+    std::vector<std::uint32_t> aux_stamp_;
+    std::vector<std::uint32_t> slot_stamp_;
+    std::vector<std::uint32_t> slot_value_;
+    std::uint32_t gen_ = 0;
+    std::unordered_map<std::string, FactorProgram> factor_cache_;
+    std::vector<Lit> values_;  // replay scratch
 };
 
 }  // namespace

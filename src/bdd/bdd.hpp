@@ -96,10 +96,24 @@ private:
 
 /// Tuning knobs for the manager.
 struct ManagerParams {
-    std::size_t cache_size_log2 = 16;   ///< computed-table entries = 2^k
+    std::size_t cache_size_log2 = 10;   ///< initial computed-table entries = 2^k
+    std::size_t cache_max_size_log2 = 23;  ///< growth ceiling (2^k entries)
     std::size_t gc_dead_threshold = 1u << 14;  ///< auto-GC when this many dead
     double sift_max_growth = 1.25;      ///< abort a sift direction beyond this
     int sift_max_vars = 1000;           ///< max variables sifted per call
+};
+
+/// Computed-table telemetry (monotonic over the manager's lifetime).
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    /// Inserts that evicted a live (still-valid) entry of a different key.
+    std::uint64_t collisions = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
 };
 
 class Manager {
@@ -159,8 +173,64 @@ public:
     /// Fraction of satisfying minterms over all num_vars() variables.
     [[nodiscard]] double sat_fraction(const Bdd& f);
     [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& values_by_var);
-    /// Visit each internal node of f's DAG once (by regular node index).
+
+    /// Visit each internal node of f's DAG once (by regular node index), in
+    /// the same DFS order for every backend. The visitor must not create or
+    /// free nodes, and traversals must not nest. Template form: no
+    /// std::function indirection in inner loops.
+    template <typename Fn>
+    void for_each_node(Edge root, Fn&& fn) {
+        const NodeIndex r = edge_index(root);
+        if (r == kTerminalIndex) return;
+        const std::uint32_t gen = begin_traversal();
+        std::vector<NodeIndex>& stack = scratch_stack_;
+        stack.clear();
+        visit_stamp_[r] = gen;
+        stack.push_back(r);
+        while (!stack.empty()) {
+            const NodeIndex idx = stack.back();
+            stack.pop_back();
+            fn(idx);
+            const Node& n = nodes_[idx];
+            const NodeIndex hi = edge_index(n.hi);
+            if (hi != kTerminalIndex && visit_stamp_[hi] != gen) {
+                visit_stamp_[hi] = gen;
+                stack.push_back(hi);
+            }
+            const NodeIndex lo = edge_index(n.lo);
+            if (lo != kTerminalIndex && visit_stamp_[lo] != gen) {
+                visit_stamp_[lo] = gen;
+                stack.push_back(lo);
+            }
+        }
+    }
+    /// Compatibility wrapper over for_each_node.
     void visit_nodes(const Bdd& f, const std::function<void(NodeIndex)>& fn);
+
+    /// Expert API: a generation-stamped per-node uint32 side map, O(1) to
+    /// create (no allocation, no clearing; backed by Manager-owned scratch
+    /// arrays distinct from the traversal stamps). At most one map is live
+    /// at a time; creating a new one invalidates the previous map. Entries
+    /// for nodes created after the map was made must not be accessed.
+    class NodeMap {
+    public:
+        void set(NodeIndex i, std::uint32_t v) {
+            mgr_->map_stamp_[i] = gen_;
+            mgr_->map_value_[i] = v;
+        }
+        [[nodiscard]] bool contains(NodeIndex i) const {
+            return mgr_->map_stamp_[i] == gen_;
+        }
+        /// Undefined unless contains(i).
+        [[nodiscard]] std::uint32_t at(NodeIndex i) const { return mgr_->map_value_[i]; }
+
+    private:
+        friend class Manager;
+        NodeMap(Manager* mgr, std::uint32_t gen) : mgr_(mgr), gen_(gen) {}
+        Manager* mgr_;
+        std::uint32_t gen_;
+    };
+    [[nodiscard]] NodeMap make_node_map();
 
     // ---- Conversion (test oracle bridge) ----------------------------------
     [[nodiscard]] tt::TruthTable to_truth_table(const Bdd& f, int num_tt_vars);
@@ -185,6 +255,10 @@ public:
     void swap_adjacent_levels(int level);
     [[nodiscard]] std::size_t live_node_count() const noexcept { return live_nodes_; }
     [[nodiscard]] std::size_t peak_node_count() const noexcept { return peak_nodes_; }
+    /// Computed-table hit/miss/insert/collision counters.
+    [[nodiscard]] const CacheStats& cache_stats() const noexcept { return cache_stats_; }
+    /// Current computed-table capacity in entries.
+    [[nodiscard]] std::size_t cache_capacity() const noexcept { return cache_.size(); }
     /// DOT rendering of one or more roots, for documentation/debugging.
     [[nodiscard]] std::string to_dot(std::span<const Bdd> roots,
                                      std::span<const std::string> names = {});
@@ -205,7 +279,8 @@ private:
         std::uint32_t entries = 0;
     };
 
-    enum class CacheOp : std::uint8_t { kIte = 1, kConstrain, kRestrict, kReplace };
+    enum class CacheOp : std::uint8_t { kIte = 1, kConstrain, kRestrict, kReplace,
+                                        kAnd, kXor };
 
     struct CacheEntry {
         Edge f = kEdgeInvalid, g = kEdgeInvalid, h = kEdgeInvalid;
@@ -227,13 +302,31 @@ private:
     void maybe_grow_table(LevelTable& table);
     [[nodiscard]] std::size_t bucket_of(const LevelTable& table, Edge hi, Edge lo) const;
 
-    // Computed table.
+    // Computed table. The slot index is computed once per (op, operands)
+    // triple and shared between the lookup and the insert; the table never
+    // resizes while a recursive core is on the stack, so a slot stays valid
+    // across the recursion between the two.
+    [[nodiscard]] std::size_t cache_slot(CacheOp op, Edge f, Edge g, Edge h) const;
+    [[nodiscard]] bool cache_probe(std::size_t slot, CacheOp op, Edge f, Edge g,
+                                   Edge h, Edge* out) const;
+    void cache_store(std::size_t slot, CacheOp op, Edge f, Edge g, Edge h, Edge result);
     [[nodiscard]] bool cache_lookup(CacheOp op, Edge f, Edge g, Edge h, Edge* out) const;
     void cache_insert(CacheOp op, Edge f, Edge g, Edge h, Edge result);
     void cache_clear();
+    /// Grow the computed table with the live-node count (top level only).
+    void maybe_grow_cache();
+    /// Free dead nodes without touching the computed table. Callers must
+    /// clear the cache before the next cache probe (freed slots may be
+    /// recycled, so stale entries could falsely hit).
+    void sweep_dead();
+
+    // Traversal scratch.
+    std::uint32_t begin_traversal();
 
     // Recursive cores (no GC may run while these are on the stack).
     Edge ite_rec(Edge f, Edge g, Edge h);
+    Edge and_rec(Edge f, Edge g);
+    Edge xor_rec(Edge f, Edge g);
     Edge constrain_rec(Edge f, Edge c);
     Edge restrict_rec(Edge f, Edge c);
     Edge replace_rec(Edge f, NodeIndex v, Edge replacement,
@@ -254,11 +347,23 @@ private:
     std::vector<std::uint32_t> var_to_level_;
     std::vector<std::uint32_t> level_to_var_;
     std::vector<CacheEntry> cache_;
+    mutable CacheStats cache_stats_;
     std::uint32_t free_list_ = kNil;
     std::size_t live_nodes_ = 0;   // internal nodes with ref > 0
     std::size_t dead_nodes_ = 0;   // internal nodes with ref == 0, still tabled
     std::size_t peak_nodes_ = 0;
     int op_depth_ = 0;  // >0 while a recursive core is running (blocks GC)
+
+    // Generation-stamped scratch (traversals, NodeMap, analysis memos).
+    // stamp[i] == generation means "visited/set in the current pass"; a
+    // reset is one counter increment, never a clear.
+    std::vector<std::uint32_t> visit_stamp_;
+    std::vector<NodeIndex> scratch_stack_;
+    std::uint32_t traversal_gen_ = 0;
+    std::vector<std::uint32_t> map_stamp_;
+    std::vector<std::uint32_t> map_value_;
+    std::uint32_t map_gen_ = 0;
+    std::vector<double> sat_memo_;  // valid where visit_stamp_ matches
 };
 
 }  // namespace bdsmaj::bdd

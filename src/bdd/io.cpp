@@ -1,5 +1,4 @@
 #include <sstream>
-#include <unordered_set>
 
 #include "bdd/bdd.hpp"
 
@@ -12,8 +11,10 @@ std::string Manager::to_dot(std::span<const Bdd> roots,
                             std::span<const std::string> names) {
     std::ostringstream os;
     os << "digraph bdd {\n  rankdir = TB;\n";
-    std::unordered_set<NodeIndex> seen;
-    std::vector<NodeIndex> stack;
+    // Multi-root stamped traversal (shares the Manager scratch arrays).
+    const std::uint32_t gen = begin_traversal();
+    std::vector<NodeIndex>& stack = scratch_stack_;
+    stack.clear();
     for (std::size_t i = 0; i < roots.size(); ++i) {
         const Edge e = roots[i].edge();
         const std::string name =
@@ -22,7 +23,10 @@ std::string Manager::to_dot(std::span<const Bdd> roots,
         os << "  \"" << name << "\" -> n" << edge_index(e)
            << (edge_complemented(e) ? " [style=dotted]" : "") << ";\n";
         const NodeIndex idx = edge_index(e);
-        if (idx != kTerminalIndex && seen.insert(idx).second) stack.push_back(idx);
+        if (idx != kTerminalIndex && visit_stamp_[idx] != gen) {
+            visit_stamp_[idx] = gen;
+            stack.push_back(idx);
+        }
     }
     os << "  n" << kTerminalIndex << " [label=\"1\", shape=box];\n";
     while (!stack.empty()) {
@@ -37,7 +41,10 @@ std::string Manager::to_dot(std::span<const Bdd> roots,
            << ";\n";
         for (const Edge child : {n.hi, n.lo}) {
             const NodeIndex ci = edge_index(child);
-            if (ci != kTerminalIndex && seen.insert(ci).second) stack.push_back(ci);
+            if (ci != kTerminalIndex && visit_stamp_[ci] != gen) {
+                visit_stamp_[ci] = gen;
+                stack.push_back(ci);
+            }
         }
     }
     os << "}\n";

@@ -1,5 +1,6 @@
 #include "bdd/bdd.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -209,6 +210,9 @@ Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
         complement_out = true;
     }
     LevelTable& table = tables_[level];
+    // Grow before hashing so one bucket computation serves both the lookup
+    // and the insert.
+    maybe_grow_table(table);
     const std::size_t b = bucket_of(table, hi, lo);
     for (std::uint32_t idx = table.buckets[b]; idx != kNil; idx = nodes_[idx].next) {
         if (nodes_[idx].hi == hi && nodes_[idx].lo == lo) {
@@ -223,7 +227,9 @@ Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
     n.ref = 0;
     inc_ref(hi);
     inc_ref(lo);
-    table_insert(level, idx);
+    nodes_[idx].next = table.buckets[b];
+    table.buckets[b] = idx;
+    ++table.entries;
     ++dead_nodes_;  // born dead; parents / handles will reference it
     if (live_nodes_ + dead_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_ + dead_nodes_;
     return make_edge(idx, complement_out);
@@ -233,30 +239,64 @@ Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
 // Computed table
 // ---------------------------------------------------------------------------
 
-bool Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, Edge* out) const {
+std::size_t Manager::cache_slot(CacheOp op, Edge f, Edge g, Edge h) const {
     std::uint64_t key = static_cast<std::uint64_t>(f) * 0x9e3779b97f4a7c15ULL;
     key ^= static_cast<std::uint64_t>(g) * 0xc2b2ae3d27d4eb4fULL;
     key ^= static_cast<std::uint64_t>(h) * 0x165667b19e3779f9ULL;
     key ^= static_cast<std::uint64_t>(op);
-    const CacheEntry& e = cache_[static_cast<std::size_t>(key >> 13) & (cache_.size() - 1)];
+    return static_cast<std::size_t>(key >> 13) & (cache_.size() - 1);
+}
+
+bool Manager::cache_probe(std::size_t slot, CacheOp op, Edge f, Edge g, Edge h,
+                          Edge* out) const {
+    const CacheEntry& e = cache_[slot];
     if (e.op == op && e.f == f && e.g == g && e.h == h && e.result != kEdgeInvalid) {
         *out = e.result;
+        ++cache_stats_.hits;
         return true;
     }
+    ++cache_stats_.misses;
     return false;
 }
 
-void Manager::cache_insert(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
-    std::uint64_t key = static_cast<std::uint64_t>(f) * 0x9e3779b97f4a7c15ULL;
-    key ^= static_cast<std::uint64_t>(g) * 0xc2b2ae3d27d4eb4fULL;
-    key ^= static_cast<std::uint64_t>(h) * 0x165667b19e3779f9ULL;
-    key ^= static_cast<std::uint64_t>(op);
-    CacheEntry& e = cache_[static_cast<std::size_t>(key >> 13) & (cache_.size() - 1)];
+void Manager::cache_store(std::size_t slot, CacheOp op, Edge f, Edge g, Edge h,
+                          Edge result) {
+    CacheEntry& e = cache_[slot];
+    ++cache_stats_.inserts;
+    if (e.result != kEdgeInvalid && (e.op != op || e.f != f || e.g != g || e.h != h)) {
+        ++cache_stats_.collisions;
+    }
     e = CacheEntry{f, g, h, result, op};
+}
+
+bool Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, Edge* out) const {
+    return cache_probe(cache_slot(op, f, g, h), op, f, g, h, out);
+}
+
+void Manager::cache_insert(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
+    cache_store(cache_slot(op, f, g, h), op, f, g, h, result);
 }
 
 void Manager::cache_clear() {
     for (auto& e : cache_) e = CacheEntry{};
+}
+
+void Manager::maybe_grow_cache() {
+    // Scale the computed table with the live-node population instead of
+    // pinning it at its initial size: a table much smaller than the working
+    // set thrashes, one much bigger wastes cache_clear() time. Never called
+    // while a recursive core is running (slots must stay stable).
+    assert(op_depth_ == 0);
+    const std::size_t ceiling = std::size_t{1} << params_.cache_max_size_log2;
+    std::size_t target = cache_.size();
+    while (target < ceiling && live_nodes_ + dead_nodes_ > target) target *= 2;
+    if (target == cache_.size()) return;
+    std::vector<CacheEntry> old = std::move(cache_);
+    cache_.assign(target, CacheEntry{});
+    for (const CacheEntry& e : old) {
+        if (e.result == kEdgeInvalid) continue;
+        cache_[cache_slot(e.op, e.f, e.g, e.h)] = e;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -264,10 +304,22 @@ void Manager::cache_clear() {
 // ---------------------------------------------------------------------------
 
 void Manager::gc() {
+    // Nothing dead: the unique tables and the computed table are both still
+    // exact; skip the sweep (and keep the cached results).
+    if (dead_nodes_ == 0) return;
+    sweep_dead();
+    cache_clear();
+}
+
+void Manager::sweep_dead() {
     assert(op_depth_ == 0 && "gc during an active operation");
-    // Sweep levels top-down: freeing a node can only kill deeper nodes.
+    if (dead_nodes_ == 0) return;
+    // Sweep levels top-down: freeing a node can only kill deeper nodes. A
+    // level whose table holds exactly its live population has nothing to
+    // sweep (dead count per level == entries - live).
     for (std::uint32_t level = 0; level < tables_.size(); ++level) {
         LevelTable& table = tables_[level];
+        if (table.entries == level_live_[level]) continue;
         for (auto& head : table.buckets) {
             std::uint32_t* link = &head;
             while (*link != kNil) {
@@ -290,11 +342,37 @@ void Manager::gc() {
             }
         }
     }
-    cache_clear();
 }
 
 void Manager::auto_gc_if_needed() {
-    if (op_depth_ == 0 && dead_nodes_ > params_.gc_dead_threshold) gc();
+    if (op_depth_ != 0) return;
+    if (dead_nodes_ > params_.gc_dead_threshold) gc();
+    maybe_grow_cache();
+}
+
+// ---------------------------------------------------------------------------
+// Generation-stamped scratch
+// ---------------------------------------------------------------------------
+
+std::uint32_t Manager::begin_traversal() {
+    if (visit_stamp_.size() < nodes_.size()) visit_stamp_.resize(nodes_.size(), 0);
+    if (++traversal_gen_ == 0) {
+        std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+        traversal_gen_ = 1;
+    }
+    return traversal_gen_;
+}
+
+Manager::NodeMap Manager::make_node_map() {
+    if (map_stamp_.size() < nodes_.size()) {
+        map_stamp_.resize(nodes_.size(), 0);
+        map_value_.resize(nodes_.size(), 0);
+    }
+    if (++map_gen_ == 0) {
+        std::fill(map_stamp_.begin(), map_stamp_.end(), 0);
+        map_gen_ = 1;
+    }
+    return NodeMap(this, map_gen_);
 }
 
 // ---------------------------------------------------------------------------

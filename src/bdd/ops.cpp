@@ -1,7 +1,5 @@
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "bdd/bdd.hpp"
 
@@ -56,8 +54,11 @@ Edge Manager::ite_rec(Edge f, Edge g, Edge h) {
         complement_out = true;
     }
 
+    // One key computation serves both the lookup and the insert: the table
+    // cannot resize while a recursive core is on the stack.
+    const std::size_t slot = cache_slot(CacheOp::kIte, f, g, h);
     Edge cached;
-    if (cache_lookup(CacheOp::kIte, f, g, h, &cached)) {
+    if (cache_probe(slot, CacheOp::kIte, f, g, h, &cached)) {
         return complement_out ? edge_not(cached) : cached;
     }
 
@@ -72,7 +73,70 @@ Edge Manager::ite_rec(Edge f, Edge g, Edge h) {
     const Edge e = ite_rec(f0, g0, h0);
     const Edge r = make_node(level, t, e);
 
-    cache_insert(CacheOp::kIte, f, g, h, r);
+    cache_store(slot, CacheOp::kIte, f, g, h, r);
+    return complement_out ? edge_not(r) : r;
+}
+
+// ---------------------------------------------------------------------------
+// Dedicated 2-operand cores. Funnelling AND/XOR through 3-key ITE entries
+// wastes computed-table width and forfeits operand canonicalization; the
+// specialized forms use CUDD-style normalization (commutative ordering, and
+// for XOR complement extraction) so symmetric calls share one entry.
+// ---------------------------------------------------------------------------
+
+Edge Manager::and_rec(Edge f, Edge g) {
+    if (f == kEdgeOne) return g;
+    if (g == kEdgeOne) return f;
+    if (f == kEdgeZero || g == kEdgeZero) return kEdgeZero;
+    if (f == g) return f;
+    if (f == edge_not(g)) return kEdgeZero;
+    // Commutative canonicalization: smaller edge first.
+    if (f > g) std::swap(f, g);
+
+    const std::size_t slot = cache_slot(CacheOp::kAnd, f, g, kEdgeInvalid);
+    Edge cached;
+    if (cache_probe(slot, CacheOp::kAnd, f, g, kEdgeInvalid, &cached)) return cached;
+
+    const std::uint32_t level = std::min(edge_level(f), edge_level(g));
+    Edge f1, f0, g1, g0;
+    cofactors_at(f, level, &f1, &f0);
+    cofactors_at(g, level, &g1, &g0);
+
+    const Edge t = and_rec(f1, g1);
+    const Edge e = and_rec(f0, g0);
+    const Edge r = make_node(level, t, e);
+
+    cache_store(slot, CacheOp::kAnd, f, g, kEdgeInvalid, r);
+    return r;
+}
+
+Edge Manager::xor_rec(Edge f, Edge g) {
+    // Complement normalization: XOR ignores operand polarity up to output
+    // complement, so only regular operands ever enter the table.
+    const bool complement_out = edge_complemented(f) != edge_complemented(g);
+    f = edge_regular(f);
+    g = edge_regular(g);
+    if (f == g) return complement_out ? kEdgeOne : kEdgeZero;
+    if (f == kEdgeOne) std::swap(f, g);  // constant (regular == 1) last
+    if (g == kEdgeOne) return complement_out ? f : edge_not(f);
+    if (f > g) std::swap(f, g);
+
+    const std::size_t slot = cache_slot(CacheOp::kXor, f, g, kEdgeInvalid);
+    Edge cached;
+    if (cache_probe(slot, CacheOp::kXor, f, g, kEdgeInvalid, &cached)) {
+        return complement_out ? edge_not(cached) : cached;
+    }
+
+    const std::uint32_t level = std::min(edge_level(f), edge_level(g));
+    Edge f1, f0, g1, g0;
+    cofactors_at(f, level, &f1, &f0);
+    cofactors_at(g, level, &g1, &g0);
+
+    const Edge t = xor_rec(f1, g1);
+    const Edge e = xor_rec(f0, g0);
+    const Edge r = make_node(level, t, e);
+
+    cache_store(slot, CacheOp::kXor, f, g, kEdgeInvalid, r);
     return complement_out ? edge_not(r) : r;
 }
 
@@ -88,10 +152,54 @@ Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
     return out;
 }
 
-Bdd Manager::apply_and(const Bdd& f, const Bdd& g) { return ite(f, g, zero()); }
-Bdd Manager::apply_or(const Bdd& f, const Bdd& g) { return ite(f, one(), g); }
-Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) { return ite(f, !g, g); }
-Bdd Manager::apply_xnor(const Bdd& f, const Bdd& g) { return ite(f, g, !g); }
+Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    Edge r;
+    {
+        OpGuard guard(op_depth_);
+        r = and_rec(f.edge(), g.edge());
+    }
+    Bdd out = from_edge(r);
+    auto_gc_if_needed();
+    return out;
+}
+
+Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
+    // De Morgan over the AND core; complement edges make this free.
+    assert(f.manager() == this && g.manager() == this);
+    Edge r;
+    {
+        OpGuard guard(op_depth_);
+        r = edge_not(and_rec(edge_not(f.edge()), edge_not(g.edge())));
+    }
+    Bdd out = from_edge(r);
+    auto_gc_if_needed();
+    return out;
+}
+
+Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    Edge r;
+    {
+        OpGuard guard(op_depth_);
+        r = xor_rec(f.edge(), g.edge());
+    }
+    Bdd out = from_edge(r);
+    auto_gc_if_needed();
+    return out;
+}
+
+Bdd Manager::apply_xnor(const Bdd& f, const Bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    Edge r;
+    {
+        OpGuard guard(op_depth_);
+        r = edge_not(xor_rec(f.edge(), g.edge()));
+    }
+    Bdd out = from_edge(r);
+    auto_gc_if_needed();
+    return out;
+}
 
 Bdd Manager::maj(const Bdd& a, const Bdd& b, const Bdd& c) {
     // Maj(a,b,c) = ITE(a, b|c, b&c); a single ITE keeps the work cached.
@@ -125,46 +233,48 @@ std::size_t Manager::dag_size(const Bdd& f) {
 }
 
 std::size_t Manager::dag_size(std::span<const Bdd> fs) {
-    std::unordered_set<NodeIndex> seen;
-    std::vector<NodeIndex> stack;
+    // Shared stamped traversal over all roots: one generation, zero
+    // allocation after warm-up.
+    const std::uint32_t gen = begin_traversal();
+    std::vector<NodeIndex>& stack = scratch_stack_;
+    stack.clear();
+    std::size_t count = 0;
     for (const Bdd& f : fs) {
         assert(f.manager() == this);
         const NodeIndex root = edge_index(f.edge());
-        if (root != kTerminalIndex && seen.insert(root).second) stack.push_back(root);
+        if (root != kTerminalIndex && visit_stamp_[root] != gen) {
+            visit_stamp_[root] = gen;
+            stack.push_back(root);
+            ++count;
+        }
     }
     while (!stack.empty()) {
         const NodeIndex idx = stack.back();
         stack.pop_back();
-        for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
-            const NodeIndex ci = edge_index(child);
-            if (ci != kTerminalIndex && seen.insert(ci).second) stack.push_back(ci);
+        const Node& n = nodes_[idx];
+        const NodeIndex hi = edge_index(n.hi);
+        if (hi != kTerminalIndex && visit_stamp_[hi] != gen) {
+            visit_stamp_[hi] = gen;
+            stack.push_back(hi);
+            ++count;
+        }
+        const NodeIndex lo = edge_index(n.lo);
+        if (lo != kTerminalIndex && visit_stamp_[lo] != gen) {
+            visit_stamp_[lo] = gen;
+            stack.push_back(lo);
+            ++count;
         }
     }
-    return seen.size();
+    return count;
 }
 
 void Manager::visit_nodes(const Bdd& f, const std::function<void(NodeIndex)>& fn) {
-    std::unordered_set<NodeIndex> seen;
-    std::vector<NodeIndex> stack;
-    const NodeIndex root = edge_index(f.edge());
-    if (root != kTerminalIndex) {
-        seen.insert(root);
-        stack.push_back(root);
-    }
-    while (!stack.empty()) {
-        const NodeIndex idx = stack.back();
-        stack.pop_back();
-        fn(idx);
-        for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
-            const NodeIndex ci = edge_index(child);
-            if (ci != kTerminalIndex && seen.insert(ci).second) stack.push_back(ci);
-        }
-    }
+    for_each_node(f.edge(), [&](NodeIndex idx) { fn(idx); });
 }
 
 std::vector<int> Manager::support_vars(const Bdd& f) {
     std::vector<bool> at_level(tables_.size(), false);
-    visit_nodes(f, [&](NodeIndex idx) { at_level[nodes_[idx].level] = true; });
+    for_each_node(f.edge(), [&](NodeIndex idx) { at_level[nodes_[idx].level] = true; });
     std::vector<int> vars;
     for (std::size_t l = 0; l < at_level.size(); ++l) {
         if (at_level[l]) vars.push_back(static_cast<int>(level_to_var_[l]));
@@ -175,18 +285,22 @@ std::vector<int> Manager::support_vars(const Bdd& f) {
 
 double Manager::sat_fraction(const Bdd& f) {
     // Fraction of satisfying assignments; level gaps contribute factor 1
-    // because both branches of a skipped variable agree.
-    std::unordered_map<NodeIndex, double> memo;
+    // because both branches of a skipped variable agree. Memo lives in a
+    // stamped side array: sat_memo_[i] is valid iff visit_stamp_[i] carries
+    // this call's generation.
+    const std::uint32_t gen = begin_traversal();
+    if (sat_memo_.size() < nodes_.size()) sat_memo_.resize(nodes_.size(), 0.0);
     auto rec = [&](auto&& self, Edge e) -> double {
         if (e == kEdgeOne) return 1.0;
         if (e == kEdgeZero) return 0.0;
         const NodeIndex idx = edge_index(e);
         double frac;
-        if (auto it = memo.find(idx); it != memo.end()) {
-            frac = it->second;
+        if (visit_stamp_[idx] == gen) {
+            frac = sat_memo_[idx];
         } else {
             frac = 0.5 * self(self, nodes_[idx].hi) + 0.5 * self(self, nodes_[idx].lo);
-            memo.emplace(idx, frac);
+            visit_stamp_[idx] = gen;
+            sat_memo_[idx] = frac;
         }
         return edge_complemented(e) ? 1.0 - frac : frac;
     };
@@ -211,21 +325,24 @@ bool Manager::eval(const Bdd& f, const std::vector<bool>& values_by_var) {
 // ---------------------------------------------------------------------------
 
 tt::TruthTable Manager::to_truth_table(const Bdd& f, int num_tt_vars) {
-    std::unordered_map<NodeIndex, tt::TruthTable> memo;
+    // Memo: stamped position map into a compact table vector, so repeated
+    // calls never rehash and the tables are freed when the call returns.
+    NodeMap pos = make_node_map();
+    std::vector<tt::TruthTable> memo;
     auto rec = [&](auto&& self, Edge e) -> tt::TruthTable {
         if (e == kEdgeOne) return tt::TruthTable::ones(num_tt_vars);
         if (e == kEdgeZero) return tt::TruthTable::zeros(num_tt_vars);
         const NodeIndex idx = edge_index(e);
-        auto it = memo.find(idx);
-        if (it == memo.end()) {
+        if (!pos.contains(idx)) {
             const Node& n = nodes_[idx];
             const int var = static_cast<int>(level_to_var_[n.level]);
             const tt::TruthTable v = tt::TruthTable::var(num_tt_vars, var);
-            const tt::TruthTable result =
-                tt::ite(v, self(self, n.hi), self(self, n.lo));
-            it = memo.emplace(idx, result).first;
+            tt::TruthTable result = tt::ite(v, self(self, n.hi), self(self, n.lo));
+            pos.set(idx, static_cast<std::uint32_t>(memo.size()));
+            memo.push_back(std::move(result));
         }
-        return edge_complemented(e) ? ~it->second : it->second;
+        const tt::TruthTable& cached = memo[pos.at(idx)];
+        return edge_complemented(e) ? ~cached : cached;
     };
     return rec(rec, f.edge());
 }

@@ -145,10 +145,16 @@ void Manager::sift_var_to(int var, int target_level) {
 
 void Manager::sift() {
     assert(op_depth_ == 0);
-    gc();  // start from an exact live census; also clears the cache
-
     const int num_levels = static_cast<int>(tables_.size());
-    if (num_levels < 2) return;
+    if (num_levels < 2) {
+        gc();
+        return;
+    }
+    // Start from an exact live census. No operation probes the computed
+    // table until sifting finishes, so intermediate collections only sweep;
+    // the single cache_clear at the end drops the order-stale (and possibly
+    // slot-recycled) entries in one pass.
+    sweep_dead();
 
     std::vector<int> vars(var_to_level_.size());
     for (std::size_t v = 0; v < vars.size(); ++v) vars[v] = static_cast<int>(v);
@@ -197,9 +203,10 @@ void Manager::sift() {
             }
         }
         sift_var_to(var, best_level);
-        if (dead_nodes_ > params_.gc_dead_threshold) gc();
+        if (dead_nodes_ > params_.gc_dead_threshold) sweep_dead();
     }
-    gc();
+    sweep_dead();
+    cache_clear();  // cache entries are order-dependent (and slots recycle)
 }
 
 }  // namespace bdsmaj::bdd

@@ -1,9 +1,9 @@
 #include "decomp/dominators.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
-#include <unordered_map>
 
 namespace bdsmaj::decomp {
 
@@ -27,23 +27,30 @@ DominatorAnalysis::DominatorAnalysis(Manager& mgr, const Bdd& f) : mgr_(mgr), f_
 
     // Collect the DAG and sort by level: parents strictly above children,
     // so ascending level order is topological.
-    std::vector<NodeIndex> dag;
-    mgr_.visit_nodes(f, [&](NodeIndex v) { dag.push_back(v); });
+    std::vector<NodeIndex>& dag = dag_;
+    mgr_.for_each_node(f.edge(), [&](NodeIndex v) { dag.push_back(v); });
     std::sort(dag.begin(), dag.end(), [&](NodeIndex a, NodeIndex b) {
         const Edge ea = bdd::make_edge(a, false);
         const Edge eb = bdd::make_edge(b, false);
         return mgr_.edge_level(ea) < mgr_.edge_level(eb);
     });
-    std::unordered_map<NodeIndex, std::size_t> pos;
-    for (std::size_t i = 0; i < dag.size(); ++i) pos.emplace(dag[i], i);
+    // DAG position of each node, in a generation-stamped Manager side map
+    // (no hashing, no per-analysis allocation).
+    bdd::Manager::NodeMap pos_map = mgr_.make_node_map();
+    for (std::size_t i = 0; i < dag.size(); ++i) {
+        pos_map.set(dag[i], static_cast<std::uint32_t>(i));
+    }
+    const auto pos = [&pos_map](NodeIndex v) -> std::size_t {
+        return pos_map.at(v);
+    };
 
     // Downward DP: root-to-node path counts split by complement parity.
     std::vector<double> pe(dag.size(), 0.0), po(dag.size(), 0.0);
     const NodeIndex root = bdd::edge_index(f.edge());
     if (bdd::edge_complemented(f.edge())) {
-        po[pos[root]] = 1.0;
+        po[pos(root)] = 1.0;
     } else {
-        pe[pos[root]] = 1.0;
+        pe[pos(root)] = 1.0;
     }
     // Upward DP: node-to-terminal path counts by parity (parity of edges
     // below the node; even parity ends at the 1 value).
@@ -60,13 +67,13 @@ DominatorAnalysis::DominatorAnalysis(Manager& mgr, const Bdd& f) : mgr_(mgr), f_
         const Edge e = mgr_.edge_else(reg);
         // Propagate path counts downward.
         if (!bdd::edge_is_constant(t)) {
-            const std::size_t ti = pos[bdd::edge_index(t)];
+            const std::size_t ti = pos(bdd::edge_index(t));
             pe[ti] += pe[i];
             po[ti] += po[i];
             ++infos_[ti].then_fanin;
         }
         if (!bdd::edge_is_constant(e)) {
-            const std::size_t ei = pos[bdd::edge_index(e)];
+            const std::size_t ei = pos(bdd::edge_index(e));
             if (bdd::edge_complemented(e)) {
                 pe[ei] += po[i];
                 po[ei] += pe[i];
@@ -94,7 +101,7 @@ DominatorAnalysis::DominatorAnalysis(Manager& mgr, const Bdd& f) : mgr_(mgr), f_
                 (comp ? *odd : *even) += 1.0;
                 return;
             }
-            const std::size_t ci = pos[bdd::edge_index(child)];
+            const std::size_t ci = pos(bdd::edge_index(child));
             if (comp) {
                 *even += qo[ci];
                 *odd += qe[ci];
@@ -107,7 +114,7 @@ DominatorAnalysis::DominatorAnalysis(Manager& mgr, const Bdd& f) : mgr_(mgr), f_
         contribution(e, &qe[i], &qo[i]);
     }
 
-    const std::size_t root_pos = pos[root];
+    const std::size_t root_pos = pos(root);
     const double total_paths = qe[root_pos] + qo[root_pos];
     const bool root_comp = bdd::edge_complemented(f.edge());
     const double total_one_paths = root_comp ? qo[root_pos] : qe[root_pos];
@@ -185,6 +192,53 @@ SimpleDecomposition DominatorAnalysis::decompose_at(const NodeDomInfo& info,
             break;
     }
     return out;
+}
+
+const std::vector<std::size_t>& DominatorAnalysis::node_sizes() {
+    if (!sizes_.empty() || dag_.empty()) return sizes_;
+    const std::size_t n = dag_.size();
+    sizes_.assign(n, 0);
+
+    // Single bottom-up pass: reach[i] is the set of DAG positions reachable
+    // from dag_[i] (itself included) as a bitset; a node's function size is
+    // the popcount of its row. dag_ is in ascending level order, so
+    // children always sit at larger positions and iterating positions in
+    // reverse finalizes every child row before its parents need it.
+    constexpr std::size_t kBitsetNodeLimit = 16384;
+    if (n <= kBitsetNodeLimit) {
+        bdd::Manager::NodeMap pos = mgr_.make_node_map();
+        for (std::size_t i = 0; i < n; ++i) {
+            pos.set(dag_[i], static_cast<std::uint32_t>(i));
+        }
+        const std::size_t words = (n + 63) / 64;
+        std::vector<std::uint64_t> reach(n * words, 0);
+        for (std::size_t i = n; i-- > 0;) {
+            std::uint64_t* row = &reach[i * words];
+            row[i / 64] |= std::uint64_t{1} << (i % 64);
+            const Edge reg = bdd::make_edge(dag_[i], false);
+            for (const Edge child : {mgr_.edge_then(reg), mgr_.edge_else(reg)}) {
+                if (bdd::edge_is_constant(child)) continue;
+                const std::uint64_t* crow =
+                    &reach[static_cast<std::size_t>(pos.at(bdd::edge_index(child))) * words];
+                for (std::size_t w = 0; w < words; ++w) row[w] |= crow[w];
+            }
+            std::size_t count = 0;
+            for (std::size_t w = 0; w < words; ++w) {
+                count += static_cast<std::size_t>(std::popcount(row[w]));
+            }
+            sizes_[i] = count;
+        }
+    } else {
+        // Degenerate giant DAG: per-node stamped DFS. Same exact sizes, no
+        // quadratic bit matrix.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t count = 0;
+            mgr_.for_each_node(bdd::make_edge(dag_[i], false),
+                               [&count](NodeIndex) { ++count; });
+            sizes_[i] = count;
+        }
+    }
+    return sizes_;
 }
 
 std::vector<bdd::NodeIndex> DominatorAnalysis::m_dominators(

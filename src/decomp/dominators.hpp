@@ -75,10 +75,20 @@ public:
         int max_count, std::uint32_t min_then_fanin = 1,
         std::uint32_t min_else_fanin = 1) const;
 
+    /// Exact DAG size of every node function, aligned with nodes():
+    /// node_sizes()[i] == dag_size(node_function(nodes()[i].node)). Computed
+    /// once for the whole DAG in a single bottom-up reachability pass
+    /// (bitset union over DAG positions), instead of one full traversal per
+    /// queried node; lazily evaluated and cached. Entry 0 (the root) is the
+    /// DAG size of f itself.
+    [[nodiscard]] const std::vector<std::size_t>& node_sizes();
+
 private:
     bdd::Manager& mgr_;
     bdd::Bdd f_;
-    std::vector<NodeDomInfo> infos_;
+    std::vector<bdd::NodeIndex> dag_;  // topological (level) order, root first
+    std::vector<NodeDomInfo> infos_;   // aligned with dag_
+    std::vector<std::size_t> sizes_;   // aligned with dag_; lazy
     bool has_simple_ = false;
 };
 

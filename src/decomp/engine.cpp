@@ -61,11 +61,16 @@ Signal BddDecomposer::decompose_regular(Edge e) {
     }
 
     DominatorAnalysis analysis(mgr_, f);
+    // |dag(f)| falls out of the analysis DAG; stages 2 and 3 share it
+    // instead of re-traversing f once (or twice) per recursion step.
+    const std::size_t f_size = analysis.nodes().size();
 
     // Stage 1: majority decomposition at the top of the dominator search.
+    // The engine's dominator analysis is handed down so the candidate
+    // search does not repeat it.
     if (params_.use_majority) {
         const std::optional<MajDecomposition> md =
-            maj_decompose(mgr_, f, params_.maj);
+            maj_decompose(mgr_, f, analysis, params_.maj);
         if (md) {
             ++stats_.maj_attempts;
             if (maj_globally_advantageous(mgr_, f, *md, params_.maj.k_global)) {
@@ -80,25 +85,26 @@ Signal BddDecomposer::decompose_regular(Edge e) {
     }
 
     // Stage 2: simple dominators. Shortlist by divisor balance (|Fv| close
-    // to |F|/2), then score shortlisted candidates exactly.
+    // to |F|/2), then score shortlisted candidates exactly. Divisor sizes
+    // come from the analysis' one-pass size computation — the previous
+    // dag_size call per flagged candidate made this step quadratic in |F|.
     if (analysis.has_simple_dominator()) {
         struct Candidate {
             const NodeDomInfo* info;
             SimpleDecomposition::Op op;
             std::size_t divisor_size;
         };
-        const std::size_t f_size = mgr_.dag_size(f);
+        const std::vector<std::size_t>& sizes = analysis.node_sizes();
+        const std::vector<NodeDomInfo>& infos = analysis.nodes();
         std::vector<Candidate> shortlist;
-        for (const NodeDomInfo& info : analysis.nodes()) {
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+            const NodeDomInfo& info = infos[i];
             if (info.is_one_dominator) {
-                shortlist.push_back({&info, SimpleDecomposition::Op::kAnd,
-                                     mgr_.dag_size(mgr_.node_function(info.node))});
+                shortlist.push_back({&info, SimpleDecomposition::Op::kAnd, sizes[i]});
             } else if (info.is_zero_dominator) {
-                shortlist.push_back({&info, SimpleDecomposition::Op::kOr,
-                                     mgr_.dag_size(mgr_.node_function(info.node))});
+                shortlist.push_back({&info, SimpleDecomposition::Op::kOr, sizes[i]});
             } else if (info.is_x_dominator) {
-                shortlist.push_back({&info, SimpleDecomposition::Op::kXor,
-                                     mgr_.dag_size(mgr_.node_function(info.node))});
+                shortlist.push_back({&info, SimpleDecomposition::Op::kXor, sizes[i]});
             }
         }
         const auto balance = [f_size](std::size_t part) {
@@ -143,7 +149,6 @@ Signal BddDecomposer::decompose_regular(Edge e) {
     // Stage 3: generalized (non-disjoint) XOR split, accepted only when
     // both parts strictly shrink.
     {
-        const std::size_t f_size = mgr_.dag_size(f);
         const XorSplit split = xor_decompose(mgr_, f, params_.maj.xor_params);
         if (!split.trivial) {
             const auto limit = static_cast<double>(f_size) * params_.xor_acceptance_factor;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "network/cleanup.hpp"
+#include "network/simulate.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -46,20 +47,9 @@ Bdd build_supernode_bdd(bdd::Manager& mgr, const Network& network,
             case net::GateKind::kXnor: result = mgr.apply_xnor(in(0), in(1)); break;
             case net::GateKind::kMaj: result = mgr.maj(in(0), in(1), in(2)); break;
             case net::GateKind::kMux: result = mgr.ite(in(0), in(1), in(2)); break;
-            case net::GateKind::kSop: {
-                Bdd acc = mgr.zero();
-                for (const net::Cube& cube : n.sop.cubes()) {
-                    Bdd term = mgr.one();
-                    for (std::size_t i = 0; i < cube.lits.size(); ++i) {
-                        if (cube.lits[i] == net::Lit::kDash) continue;
-                        term = mgr.apply_and(
-                            term, cube.lits[i] == net::Lit::kPos ? in(i) : !in(i));
-                    }
-                    acc = mgr.apply_or(acc, term);
-                }
-                result = std::move(acc);
+            case net::GateKind::kSop:
+                result = net::sop_to_bdd(mgr, n.sop, in);
                 break;
-            }
         }
         value.insert_or_assign(id, std::move(result));
     }

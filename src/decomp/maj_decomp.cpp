@@ -77,6 +77,7 @@ bool balance_majority_once(Manager& mgr, const Bdd& f, MajDecomposition& decomp,
         if (after < before) {
             x = x_opt;
             y = y_opt;
+            decomp.invalidate_size_memo();
             improved = true;
             assert(mgr.maj(decomp.fa, decomp.fb, decomp.fc) == f);
         }
@@ -87,9 +88,16 @@ bool balance_majority_once(Manager& mgr, const Bdd& f, MajDecomposition& decomp,
 std::optional<MajDecomposition> maj_decompose(Manager& mgr, const Bdd& f,
                                               const MajDecompParams& params) {
     if (f.is_constant()) return std::nullopt;
+    DominatorAnalysis analysis(mgr, f);
+    return maj_decompose(mgr, f, analysis, params);
+}
+
+std::optional<MajDecomposition> maj_decompose(Manager& mgr, const Bdd& f,
+                                              const DominatorAnalysis& analysis,
+                                              const MajDecompParams& params) {
+    if (f.is_constant()) return std::nullopt;
 
     // (α): m-dominator candidates.
-    DominatorAnalysis analysis(mgr, f);
     const std::vector<bdd::NodeIndex> candidates = analysis.m_dominators(
         params.max_candidates, params.min_then_fanin, params.min_else_fanin);
     if (candidates.empty()) return std::nullopt;

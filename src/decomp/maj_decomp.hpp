@@ -17,7 +17,9 @@
 // Every decomposition this module returns satisfies Maj(Fa,Fb,Fc) == F by
 // construction; debug builds assert it at each phase.
 
+#include <array>
 #include <optional>
+#include <utility>
 
 #include "bdd/bdd.hpp"
 #include "decomp/xor_decomp.hpp"
@@ -39,12 +41,35 @@ struct MajDecompParams {
 
 struct MajDecomposition {
     bdd::Bdd fa, fb, fc;
-    [[nodiscard]] std::size_t size_fa(bdd::Manager& mgr) const { return mgr.dag_size(fa); }
-    [[nodiscard]] std::size_t size_fb(bdd::Manager& mgr) const { return mgr.dag_size(fb); }
-    [[nodiscard]] std::size_t size_fc(bdd::Manager& mgr) const { return mgr.dag_size(fc); }
+    // Selection and balancing re-query component sizes many times per
+    // candidate; sizes are memoized per component and recomputed only when
+    // the component's edge changes (the handles pin the functions, so an
+    // unchanged edge always denotes the same function).
+    [[nodiscard]] std::size_t size_fa(bdd::Manager& mgr) const { return memo_size(0, fa, mgr); }
+    [[nodiscard]] std::size_t size_fb(bdd::Manager& mgr) const { return memo_size(1, fb, mgr); }
+    [[nodiscard]] std::size_t size_fc(bdd::Manager& mgr) const { return memo_size(2, fc, mgr); }
     [[nodiscard]] std::size_t total_size(bdd::Manager& mgr) const {
         return size_fa(mgr) + size_fb(mgr) + size_fc(mgr);
     }
+    /// Must be called after assigning to fa/fb/fc. Edge comparison alone is
+    /// not a safe staleness check: a garbage-collected node slot can be
+    /// recycled into a different function with the same edge value.
+    void invalidate_size_memo() const {
+        for (auto& [edge, size] : size_memo_) edge = bdd::kEdgeInvalid;
+    }
+
+private:
+    [[nodiscard]] std::size_t memo_size(int i, const bdd::Bdd& f,
+                                        bdd::Manager& mgr) const {
+        auto& [edge, size] = size_memo_[static_cast<std::size_t>(i)];
+        if (edge != f.edge()) {
+            edge = f.edge();
+            size = mgr.dag_size(f);
+        }
+        return size;
+    }
+    mutable std::array<std::pair<bdd::Edge, std::size_t>, 3> size_memo_{
+        {{bdd::kEdgeInvalid, 0}, {bdd::kEdgeInvalid, 0}, {bdd::kEdgeInvalid, 0}}};
 };
 
 /// (β)-phase: construct Fb, Fc for a given Fa per Theorem 3.2 with the
@@ -60,10 +85,18 @@ bool balance_majority_once(bdd::Manager& mgr, const bdd::Bdd& f,
                            MajDecomposition& decomp,
                            const XorDecompParams& xor_params = {});
 
+class DominatorAnalysis;
+
 /// Full Algorithm 1. Returns the best decomposition over all m-dominator
 /// candidates, or nullopt when no candidate exists.
 [[nodiscard]] std::optional<MajDecomposition> maj_decompose(
     bdd::Manager& mgr, const bdd::Bdd& f, const MajDecompParams& params = {});
+
+/// Same, reusing a dominator analysis of `f` the caller already computed
+/// (the decomposition engine runs one per recursion step anyway).
+[[nodiscard]] std::optional<MajDecomposition> maj_decompose(
+    bdd::Manager& mgr, const bdd::Bdd& f, const DominatorAnalysis& analysis,
+    const MajDecompParams& params = {});
 
 /// Global acceptance gate (SIV-B): every component at least k_global times
 /// smaller than the undecomposed |F|.

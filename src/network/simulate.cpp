@@ -5,17 +5,20 @@
 
 namespace bdsmaj::net {
 
-std::vector<std::uint64_t> simulate_words(const Network& network,
-                                          const std::vector<std::uint64_t>& pi_words) {
-    if (pi_words.size() != network.inputs().size()) {
-        throw std::invalid_argument("simulate_words: stimulus count != PI count");
-    }
-    std::vector<std::uint64_t> value(network.node_count(), 0);
+namespace {
+
+/// Simulation core over a precomputed topological order, writing node
+/// values into a caller-owned buffer. Multi-round callers (the random
+/// equivalence check) hoist the order and the buffers out of the loop.
+void simulate_words_into(const Network& network, const std::vector<NodeId>& order,
+                         const std::vector<std::uint64_t>& pi_words,
+                         std::vector<std::uint64_t>& value,
+                         std::vector<std::uint64_t>& fanin_words) {
+    value.assign(network.node_count(), 0);
     for (std::size_t i = 0; i < pi_words.size(); ++i) {
         value[network.inputs()[i]] = pi_words[i];
     }
-    std::vector<std::uint64_t> fanin_words;
-    for (const NodeId id : network.topo_order()) {
+    for (const NodeId id : order) {
         const Node& n = network.node(id);
         const auto in = [&](std::size_t k) { return value[n.fanins[k]]; };
         switch (n.kind) {
@@ -44,6 +47,18 @@ std::vector<std::uint64_t> simulate_words(const Network& network,
             }
         }
     }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate_words(const Network& network,
+                                          const std::vector<std::uint64_t>& pi_words) {
+    if (pi_words.size() != network.inputs().size()) {
+        throw std::invalid_argument("simulate_words: stimulus count != PI count");
+    }
+    const std::vector<NodeId> order = network.topo_order();
+    std::vector<std::uint64_t> value, fanin_words;
+    simulate_words_into(network, order, pi_words, value, fanin_words);
     std::vector<std::uint64_t> out;
     out.reserve(network.outputs().size());
     for (const OutputPort& po : network.outputs()) out.push_back(value[po.driver]);
@@ -71,12 +86,17 @@ EquivalenceResult random_equivalent(const Network& a, const Network& b, int roun
     }
     std::mt19937_64 rng(seed);
     std::vector<std::uint64_t> stimulus(a.inputs().size());
+    // Hoisted out of the round loop: the topological orders and the value
+    // buffers; outputs are compared in place.
+    const std::vector<NodeId> order_a = a.topo_order();
+    const std::vector<NodeId> order_b = b.topo_order();
+    std::vector<std::uint64_t> value_a, value_b, fanin_words;
     for (int round = 0; round < rounds; ++round) {
         for (auto& w : stimulus) w = rng();
-        const auto va = simulate_words(a, stimulus);
-        const auto vb = simulate_words(b, stimulus);
-        for (std::size_t o = 0; o < va.size(); ++o) {
-            if (va[o] != vb[o]) {
+        simulate_words_into(a, order_a, stimulus, value_a, fanin_words);
+        simulate_words_into(b, order_b, stimulus, value_b, fanin_words);
+        for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+            if (value_a[a.outputs()[o].driver] != value_b[b.outputs()[o].driver]) {
                 std::ostringstream os;
                 os << "output " << a.outputs()[o].name << " differs (round "
                    << round << ")";
@@ -114,21 +134,9 @@ std::vector<bdd::Bdd> network_to_bdds(const Network& network, bdd::Manager& mgr)
             case GateKind::kXnor: value[id] = mgr.apply_xnor(in(0), in(1)); break;
             case GateKind::kMaj: value[id] = mgr.maj(in(0), in(1), in(2)); break;
             case GateKind::kMux: value[id] = mgr.ite(in(0), in(1), in(2)); break;
-            case GateKind::kSop: {
-                bdd::Bdd acc = mgr.zero();
-                for (const Cube& cube : n.sop.cubes()) {
-                    bdd::Bdd term = mgr.one();
-                    for (std::size_t i = 0; i < cube.lits.size(); ++i) {
-                        if (cube.lits[i] == Lit::kDash) continue;
-                        const bdd::Bdd& fi = in(i);
-                        term = mgr.apply_and(term,
-                                             cube.lits[i] == Lit::kPos ? fi : !fi);
-                    }
-                    acc = mgr.apply_or(acc, term);
-                }
-                value[id] = std::move(acc);
+            case GateKind::kSop:
+                value[id] = sop_to_bdd(mgr, n.sop, in);
                 break;
-            }
         }
     }
     std::vector<bdd::Bdd> outs;

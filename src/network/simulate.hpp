@@ -18,6 +18,38 @@
 
 namespace bdsmaj::net {
 
+/// Build the BDD of an SOP node over fanin functions supplied by
+/// `fanin(i)`. The cube terms are combined by balanced pairwise OR
+/// reduction: a sequential accumulator repeats work proportional to the
+/// growing intermediate BDD once per cube, pairwise reduction keeps the
+/// operands small. Shared by the equivalence checker and the supernode
+/// BDD builder.
+template <typename FaninFn>
+[[nodiscard]] bdd::Bdd sop_to_bdd(bdd::Manager& mgr, const Sop& sop,
+                                  FaninFn&& fanin) {
+    std::vector<bdd::Bdd> terms;
+    terms.reserve(sop.cubes().size());
+    for (const Cube& cube : sop.cubes()) {
+        bdd::Bdd term = mgr.one();
+        for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+            if (cube.lits[i] == Lit::kDash) continue;
+            const bdd::Bdd& fi = fanin(i);
+            term = mgr.apply_and(term, cube.lits[i] == Lit::kPos ? fi : !fi);
+        }
+        terms.push_back(std::move(term));
+    }
+    while (terms.size() > 1) {
+        std::vector<bdd::Bdd> next;
+        next.reserve(terms.size() / 2 + 1);
+        for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+            next.push_back(mgr.apply_or(terms[i], terms[i + 1]));
+        }
+        if (terms.size() % 2 == 1) next.push_back(std::move(terms.back()));
+        terms = std::move(next);
+    }
+    return terms.empty() ? mgr.zero() : std::move(terms[0]);
+}
+
 /// One 64-pattern simulation: `pi_words[i]` is the stimulus of input i
 /// (bit k = pattern k); returns one word per output port.
 [[nodiscard]] std::vector<std::uint64_t> simulate_words(

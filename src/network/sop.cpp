@@ -105,8 +105,20 @@ std::uint64_t Sop::eval_words(const std::vector<std::uint64_t>& fanin_words) con
 }
 
 tt::TruthTable Sop::to_truth_table() const {
+    // Word-parallel: AND together projection tables per cube instead of
+    // evaluating every cube on every minterm bit by bit.
     const int n = static_cast<int>(arity_);
-    return tt::TruthTable::from_fn(n, [this](std::uint64_t m) { return eval(m); });
+    tt::TruthTable out = tt::TruthTable::zeros(n);
+    for (const Cube& c : cubes_) {
+        tt::TruthTable term = tt::TruthTable::ones(n);
+        for (std::size_t i = 0; i < c.lits.size(); ++i) {
+            if (c.lits[i] == Lit::kDash) continue;
+            const tt::TruthTable v = tt::TruthTable::var(n, static_cast<int>(i));
+            term = c.lits[i] == Lit::kPos ? (term & v) : (term & ~v);
+        }
+        out = out | term;
+    }
+    return out;
 }
 
 std::string Sop::to_blif_body() const {
@@ -132,11 +144,25 @@ namespace {
 
 using tt::TruthTable;
 
-Sop isop_rec(const TruthTable& on_lower, const TruthTable& on_upper, int var,
-             std::size_t arity) {
+/// A cover under construction together with the truth table of the
+/// function it computes. Threading the table through the recursion keeps
+/// the "what is already covered" question word-parallel; the previous
+/// formulation re-evaluated every cover cube on every minterm
+/// (Sop::eval per bit) at every recursion level, which dominated the
+/// whole AIG rewriting pipeline.
+struct IsopPart {
+    Sop sop;
+    TruthTable covered;
+};
+
+IsopPart isop_rec(const TruthTable& on_lower, const TruthTable& on_upper, int var,
+                  std::size_t arity) {
+    const int n = on_lower.num_vars();
     // Invariant: on_lower <= care function <= on_upper (as sets).
-    if (on_upper.is_const0()) return Sop(arity);
-    if (on_lower.is_const1()) return Sop::constant(true, arity);
+    if (on_upper.is_const0()) return {Sop(arity), TruthTable::zeros(n)};
+    if (on_lower.is_const1()) {
+        return {Sop::constant(true, arity), TruthTable::ones(n)};
+    }
     // Find the splitting variable: the highest variable either bound
     // depends on, at or below `var`.
     int split = -1;
@@ -149,7 +175,7 @@ Sop isop_rec(const TruthTable& on_lower, const TruthTable& on_upper, int var,
     if (split < 0) {
         // Neither bound depends on anything: constant interval; on_upper is
         // not 0 so we may cover everything with the empty cube.
-        return Sop::constant(true, arity);
+        return {Sop::constant(true, arity), TruthTable::ones(n)};
     }
 
     const TruthTable l0 = on_lower.cofactor(split, false);
@@ -159,35 +185,36 @@ Sop isop_rec(const TruthTable& on_lower, const TruthTable& on_upper, int var,
 
     // Minterms that must be covered with the negative (resp. positive)
     // literal of `split`.
-    const Sop cover0 = isop_rec(l0 & ~u1, u0, split - 1, arity);
-    const Sop cover1 = isop_rec(l1 & ~u0, u1, split - 1, arity);
+    IsopPart cover0 = isop_rec(l0 & ~u1, u0, split - 1, arity);
+    IsopPart cover1 = isop_rec(l1 & ~u0, u1, split - 1, arity);
 
     // Remaining on-set must be covered without a `split` literal.
-    const TruthTable done0 = cover0.to_truth_table();
-    const TruthTable done1 = cover1.to_truth_table();
-    const TruthTable rest_lower = (l0 & ~done0) | (l1 & ~done1);
-    const Sop cover_dash = isop_rec(rest_lower, u0 & u1, split - 1, arity);
+    const TruthTable rest_lower = (l0 & ~cover0.covered) | (l1 & ~cover1.covered);
+    IsopPart cover_dash = isop_rec(rest_lower, u0 & u1, split - 1, arity);
 
     Sop out(arity);
-    for (const Cube& c : cover0.cubes()) {
+    for (const Cube& c : cover0.sop.cubes()) {
         Cube cube = c;
         cube.lits[static_cast<std::size_t>(split)] = Lit::kNeg;
         out.add_cube(std::move(cube));
     }
-    for (const Cube& c : cover1.cubes()) {
+    for (const Cube& c : cover1.sop.cubes()) {
         Cube cube = c;
         cube.lits[static_cast<std::size_t>(split)] = Lit::kPos;
         out.add_cube(std::move(cube));
     }
-    for (const Cube& c : cover_dash.cubes()) out.add_cube(c);
-    return out;
+    for (const Cube& c : cover_dash.sop.cubes()) out.add_cube(c);
+    const TruthTable vs = TruthTable::var(n, split);
+    TruthTable covered =
+        (~vs & cover0.covered) | (vs & cover1.covered) | cover_dash.covered;
+    return {std::move(out), std::move(covered)};
 }
 
 }  // namespace
 
 Sop Sop::isop(const tt::TruthTable& on_set) {
     const auto arity = static_cast<std::size_t>(on_set.num_vars());
-    return isop_rec(on_set, on_set, on_set.num_vars() - 1, arity);
+    return isop_rec(on_set, on_set, on_set.num_vars() - 1, arity).sop;
 }
 
 }  // namespace bdsmaj::net

@@ -1,0 +1,100 @@
+// Computed-table telemetry and sizing: hit/miss/insert/collision counters,
+// params-driven capacity, and growth with the live-node population.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "tt/truth_table.hpp"
+
+namespace bdsmaj::bdd {
+namespace {
+
+using tt::TruthTable;
+
+TEST(CacheStats, RepeatedIteWorkloadHits) {
+    Manager mgr(10);
+    std::mt19937_64 rng(42);
+    const Bdd f = mgr.from_truth_table(TruthTable::random(10, rng));
+    const Bdd g = mgr.from_truth_table(TruthTable::random(10, rng));
+    const Bdd h = mgr.from_truth_table(TruthTable::random(10, rng));
+    const Bdd first = mgr.ite(f, g, h);
+    const CacheStats after_first = mgr.cache_stats();
+    EXPECT_GT(after_first.inserts, 0u);
+    // The same top-level ITE again: the recursion must be answered from the
+    // computed table.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(mgr.ite(f, g, h), first);
+    }
+    const CacheStats stats = mgr.cache_stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.hit_rate(), 0.0);
+    // Pure repeats should not have inserted anything new.
+    EXPECT_EQ(stats.inserts, after_first.inserts);
+}
+
+TEST(CacheStats, AndXorUseDedicatedEntries) {
+    Manager mgr(8);
+    std::mt19937_64 rng(7);
+    const Bdd f = mgr.from_truth_table(TruthTable::random(8, rng));
+    const Bdd g = mgr.from_truth_table(TruthTable::random(8, rng));
+    const Bdd fg = mgr.apply_and(f, g);
+    const std::uint64_t inserts_after_and = mgr.cache_stats().inserts;
+    // Commutative canonicalization: the swapped operand order is a pure
+    // cache hit, no new inserts.
+    EXPECT_EQ(mgr.apply_and(g, f), fg);
+    EXPECT_EQ(mgr.cache_stats().inserts, inserts_after_and);
+    // XOR complement normalization: all four polarity combinations resolve
+    // through the same regular-operand entries.
+    const Bdd x = mgr.apply_xor(f, g);
+    const std::uint64_t inserts_after_xor = mgr.cache_stats().inserts;
+    EXPECT_EQ(mgr.apply_xor(!f, g), !x);
+    EXPECT_EQ(mgr.apply_xor(f, !g), !x);
+    EXPECT_EQ(mgr.apply_xor(!f, !g), x);
+    EXPECT_EQ(mgr.cache_stats().inserts, inserts_after_xor);
+}
+
+TEST(CacheStats, ParamsControlInitialCapacityAndGrowth) {
+    ManagerParams params;
+    params.cache_size_log2 = 6;
+    params.cache_max_size_log2 = 10;
+    Manager mgr(12, params);
+    EXPECT_EQ(mgr.cache_capacity(), std::size_t{1} << 6);
+    std::mt19937_64 rng(11);
+    Bdd acc = mgr.zero();
+    for (int i = 0; i < 8; ++i) {
+        acc = mgr.apply_xor(acc, mgr.from_truth_table(TruthTable::random(12, rng)));
+    }
+    // Thousands of live nodes now: the table must have grown, but never
+    // beyond the configured ceiling.
+    EXPECT_GT(mgr.live_node_count(), std::size_t{1} << 6);
+    EXPECT_GT(mgr.cache_capacity(), std::size_t{1} << 6);
+    EXPECT_LE(mgr.cache_capacity(), std::size_t{1} << 10);
+}
+
+TEST(CacheStats, ResultsAreUnaffectedByCacheSize) {
+    // Same workload under a tiny (thrashing) and a large cache: identical
+    // canonical results, different hit statistics.
+    ManagerParams tiny;
+    tiny.cache_size_log2 = 2;
+    tiny.cache_max_size_log2 = 2;
+    Manager small_mgr(9, tiny);
+    Manager big_mgr(9);
+    std::mt19937_64 rng_a(3), rng_b(3);
+    for (int i = 0; i < 6; ++i) {
+        const TruthTable ta = TruthTable::random(9, rng_a);
+        const TruthTable tb = TruthTable::random(9, rng_b);
+        ASSERT_EQ(ta, tb);
+        const TruthTable tc = TruthTable::random(9, rng_a);
+        (void)TruthTable::random(9, rng_b);
+        const Bdd ra = small_mgr.apply_and(small_mgr.from_truth_table(ta),
+                                           small_mgr.from_truth_table(tc));
+        const Bdd rb = big_mgr.apply_and(big_mgr.from_truth_table(tb),
+                                         big_mgr.from_truth_table(tc));
+        EXPECT_EQ(small_mgr.to_truth_table(ra, 9), big_mgr.to_truth_table(rb, 9));
+    }
+}
+
+}  // namespace
+}  // namespace bdsmaj::bdd

@@ -180,5 +180,27 @@ TEST(Dominators, MDominatorFaninThresholdPrunes) {
     EXPECT_LE(analysis.m_dominators(1).size(), 1u);
 }
 
+TEST(Dominators, NodeSizesMatchPerNodeDagSize) {
+    // The one-pass bottom-up size computation must agree exactly with a
+    // dag_size traversal per node (the quantity the engine's candidate
+    // scoring used to recompute per candidate).
+    std::mt19937_64 rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        Manager mgr(9);
+        const Bdd f = mgr.from_truth_table(TruthTable::random(9, rng));
+        if (f.is_constant()) continue;
+        DominatorAnalysis analysis(mgr, f);
+        const std::vector<std::size_t>& sizes = analysis.node_sizes();
+        ASSERT_EQ(sizes.size(), analysis.nodes().size());
+        // Entry of the root equals |dag(f)|.
+        EXPECT_EQ(sizes[0], mgr.dag_size(f));
+        EXPECT_TRUE(analysis.nodes()[0].is_root);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const Bdd fv = mgr.node_function(analysis.nodes()[i].node);
+            EXPECT_EQ(sizes[i], mgr.dag_size(fv)) << "node position " << i;
+        }
+    }
+}
+
 }  // namespace
 }  // namespace bdsmaj::decomp

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "benchgen/suite.hpp"
 #include "decomp/flow.hpp"
 #include "flows/flows.hpp"

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (build + ctest) plus the bench harness in
+# smoke configuration, failing on a >20% wall-time regression (or >20%
+# ops/sec drop) against the smoke_reference block of the committed
+# BENCH_core.json — and on any output-fingerprint drift, which would mean
+# the synthesis results themselves changed.
+#
+#   tools/ci.sh                        # full gate
+#   BDSMAJ_CI_SKIP_BENCH=1 ...         # tier-1 only
+#   BDSMAJ_CI_TOLERANCE=35 ...         # widen the regression tolerance (%)
+#   BDSMAJ_CI_BENCH_MODE=fingerprint   # skip wall-time/rate comparisons,
+#                                      # enforce only output fingerprints —
+#                                      # for shared/heterogeneous runners
+#                                      # where absolute times measured on
+#                                      # the authoring machine are
+#                                      # meaningless
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO="$PWD"
+TOLERANCE="${BDSMAJ_CI_TOLERANCE:-20}"
+BENCH_MODE="${BDSMAJ_CI_BENCH_MODE:-full}"
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "==> tier-1: ctest"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${BDSMAJ_CI_SKIP_BENCH:-0}" != "0" ]]; then
+    echo "==> bench gate skipped (BDSMAJ_CI_SKIP_BENCH)"
+    exit 0
+fi
+
+echo "==> bench: smoke run"
+BDSMAJ_BENCH_SMOKE=1 ./build/bench_core /tmp/bdsmaj_bench_smoke.json
+
+echo "==> bench: compare against committed BENCH_core.json (tolerance ${TOLERANCE}%, mode ${BENCH_MODE})"
+python3 - "$REPO/BENCH_core.json" /tmp/bdsmaj_bench_smoke.json "$TOLERANCE" "$BENCH_MODE" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+if "smoke_reference" not in doc:
+    sys.exit("BENCH_core.json has no smoke_reference block — it was probably "
+             "overwritten by a raw bench_core run; restore the curated file "
+             "(see docs/performance.md)")
+committed = doc["smoke_reference"]
+fresh = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3]) / 100.0
+compare_times = sys.argv[4] != "fingerprint"
+failures = []
+
+# Sub-tenth-of-a-second references are scheduler-jitter territory: a
+# regression must exceed the tolerance AND an absolute floor to count.
+ABS_FLOOR_S = 0.05
+
+def check_time(name, ref, now):
+    if now > ref * (1.0 + tol) and now - ref > ABS_FLOOR_S:
+        failures.append(f"{name}: {now:.3f}s vs committed {ref:.3f}s (> +{tol:.0%})")
+
+def check_rate(name, ref, now):
+    if now < ref * (1.0 - tol):
+        failures.append(f"{name}: {now:.0f}/s vs committed {ref:.0f}/s (< -{tol:.0%})")
+
+if compare_times:
+    check_time("table2_synthesis", committed["table2_synthesis"]["seconds"],
+               fresh["table2_synthesis"]["seconds"])
+    check_time("ablation_mdom", committed["ablation_mdom"]["seconds"],
+               fresh["ablation_mdom"]["seconds"])
+    for op in ("ite", "and", "xor", "maj"):
+        check_rate(f"ops.{op}", committed["ops_per_sec"][op], fresh["ops_per_sec"][op])
+    check_rate("sift", committed["sift_nodes_per_sec"], fresh["sift_nodes_per_sec"])
+
+for section in ("table2_synthesis", "ablation_mdom"):
+    if committed[section]["fingerprint"] != fresh[section]["fingerprint"]:
+        failures.append(f"{section}: output fingerprint drifted — synthesis "
+                        f"results changed:\n  committed {committed[section]['fingerprint']}"
+                        f"\n  fresh     {fresh[section]['fingerprint']}")
+if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"]:
+    failures.append("table2_synthesis: equivalence verification failed")
+if fresh["ablation_mdom"]["equivalent"] != fresh["ablation_mdom"]["runs"]:
+    failures.append("ablation_mdom: equivalence verification failed "
+                    f"({fresh['ablation_mdom']['equivalent']}/{fresh['ablation_mdom']['runs']})")
+
+if failures:
+    print("BENCH REGRESSION GATE FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+print("bench gate OK")
+EOF
+
+echo "==> ci.sh: all gates passed"
