@@ -36,11 +36,8 @@ int main() {
         std::vector<net::Network> results;
         const auto start = std::chrono::steady_clock::now();
         for (const net::Network& input : inputs) {
-            decomp::DecompFlowParams params;
-            params.engine.maj.min_then_fanin = cfg.then_fanin;
-            params.engine.maj.min_else_fanin = cfg.else_fanin;
-            params.engine.maj.max_candidates = cfg.cap;
-            decomp::DecompFlowResult r = decomp::decompose_network(input, params);
+            decomp::DecompFlowResult r =
+                decomp::decompose_network(input, bench::mdom_sweep_params(cfg));
             const net::NetworkStats s = r.network.stats();
             total += s.total();
             maj_nodes += s.maj_nodes;

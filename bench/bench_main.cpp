@@ -10,7 +10,13 @@
 //                  flows plus equivalence checks, the same work
 //                  bench/table2_synthesis.cpp does;
 //   * ablation   — the dominator-heavy m-dominator ablation sweep of
-//                  bench/ablation_mdom.cpp.
+//                  bench/ablation_mdom.cpp;
+//   * scaling    — the table2 suite through flows::run_suite at jobs =
+//                  1/2/4 (circuit-level parallelism) and one circuit
+//                  through decompose_network at jobs = 1/2/4 (supernode-
+//                  level parallelism), with a fingerprint per level: the
+//                  pipeline must be byte-deterministic at any thread
+//                  count, and tools/ci.sh fails if it is not.
 //
 // Fingerprints (gate counts, EngineStats) are recorded alongside the wall
 // times so that perf work can be checked to leave synthesis results
@@ -30,6 +36,7 @@
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -232,11 +239,8 @@ AblationResult bench_ablation_mdom(bool smoke) {
     const auto start = Clock::now();
     for (const bench::MdomSweepConfig& cfg : configs) {
         for (const net::Network& input : inputs) {
-            decomp::DecompFlowParams params;
-            params.engine.maj.min_then_fanin = cfg.then_fanin;
-            params.engine.maj.min_else_fanin = cfg.else_fanin;
-            params.engine.maj.max_candidates = cfg.cap;
-            decomp::DecompFlowResult r = decomp::decompose_network(input, params);
+            decomp::DecompFlowResult r =
+                decomp::decompose_network(input, bench::mdom_sweep_params(cfg));
             const net::NetworkStats s = r.network.stats();
             out.total_nodes += s.total();
             out.maj_nodes += s.maj_nodes;
@@ -253,6 +257,82 @@ AblationResult bench_ablation_mdom(bool smoke) {
             }
         }
     }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-scaling: identical work at jobs = 1/2/4, fingerprint per level.
+// ---------------------------------------------------------------------------
+
+struct SuiteFingerprint {
+    long maj_gates = 0, pga_gates = 0, abc_gates = 0, dc_gates = 0;
+    double maj_area = 0;
+
+    bool operator==(const SuiteFingerprint&) const = default;
+};
+
+struct ScalingLevel {
+    int jobs = 0;
+    double suite_seconds = 0;       ///< run_suite over the table2 inputs
+    double supernode_seconds = 0;   ///< decompose_network on one circuit
+    SuiteFingerprint suite_fp;
+    long supernode_gates = 0;
+};
+
+struct ScalingResult {
+    std::vector<ScalingLevel> levels;
+    bool fingerprints_identical = true;
+    double suite_speedup_4v1 = 0;
+    double supernode_speedup_4v1 = 0;
+};
+
+ScalingResult bench_thread_scaling(bool smoke) {
+    std::vector<std::string> names = benchgen::benchmark_names();
+    if (smoke) names.resize(4);
+    std::vector<net::Network> inputs;
+    for (const auto& name : names) {
+        inputs.push_back(benchgen::benchmark_by_name(name, /*quick=*/true));
+    }
+    // Supernode-level scaling wants one circuit with many supernodes; the
+    // multiplier has the deepest cone structure in the suite.
+    const net::Network big = benchgen::benchmark_by_name("C6288", /*quick=*/smoke);
+
+    ScalingResult out;
+    for (const int jobs : {1, 2, 4}) {
+        ScalingLevel level;
+        level.jobs = jobs;
+        {
+            const auto start = Clock::now();
+            const auto results = flows::run_suite(inputs, jobs);
+            level.suite_seconds = seconds_since(start);
+            for (const auto& r : results) {
+                level.suite_fp.maj_gates += r[0].mapped.gate_count;
+                level.suite_fp.maj_area += r[0].mapped.area_um2;
+                level.suite_fp.pga_gates += r[1].mapped.gate_count;
+                level.suite_fp.abc_gates += r[2].mapped.gate_count;
+                level.suite_fp.dc_gates += r[3].mapped.gate_count;
+            }
+        }
+        {
+            decomp::DecompFlowParams params;
+            params.jobs = jobs;
+            const auto start = Clock::now();
+            const decomp::DecompFlowResult r = decomp::decompose_network(big, params);
+            level.supernode_seconds = seconds_since(start);
+            level.supernode_gates = r.network.stats().total();
+        }
+        out.levels.push_back(level);
+    }
+    for (const ScalingLevel& level : out.levels) {
+        if (!(level.suite_fp == out.levels[0].suite_fp) ||
+            level.supernode_gates != out.levels[0].supernode_gates) {
+            out.fingerprints_identical = false;
+        }
+    }
+    out.suite_speedup_4v1 =
+        out.levels[0].suite_seconds / out.levels.back().suite_seconds;
+    out.supernode_speedup_4v1 =
+        out.levels[0].supernode_seconds / out.levels.back().supernode_seconds;
     return out;
 }
 
@@ -286,6 +366,18 @@ int main(int argc, char** argv) {
     std::printf("  %.2f s, %d/%d equivalent, total %ld maj %ld\n", ab.seconds,
                 ab.equivalent, ab.runs, ab.total_nodes, ab.maj_nodes);
 
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    std::printf("bench_core: thread scaling (jobs 1/2/4, %u hw thread%s)...\n",
+                hw_threads, hw_threads == 1 ? "" : "s");
+    const ScalingResult sc = bench_thread_scaling(smoke);
+    for (const ScalingLevel& level : sc.levels) {
+        std::printf("  jobs=%d suite %.2f s, supernode %.3f s\n", level.jobs,
+                    level.suite_seconds, level.supernode_seconds);
+    }
+    std::printf("  fingerprints %s, suite speedup(4v1) %.2fx\n",
+                sc.fingerprints_identical ? "identical" : "DRIFTED",
+                sc.suite_speedup_4v1);
+
     const bdd::CacheStats cs = [] {
         bdd::Manager mgr(10);
         std::mt19937_64 rng(7);
@@ -302,7 +394,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v2\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"ops_per_sec\": {\n");
     std::fprintf(f, "    \"ite\": %.1f,\n", ops.ite_ops_per_sec);
@@ -336,6 +428,29 @@ int main(int argc, char** argv) {
     std::fprintf(f, "      \"total_nodes\": %ld,\n", ab.total_nodes);
     std::fprintf(f, "      \"maj_nodes\": %ld\n", ab.maj_nodes);
     std::fprintf(f, "    }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"thread_scaling\": {\n");
+    std::fprintf(f, "    \"hardware_threads\": %u,\n", hw_threads);
+    std::fprintf(f, "    \"levels\": [\n");
+    for (std::size_t i = 0; i < sc.levels.size(); ++i) {
+        const ScalingLevel& level = sc.levels[i];
+        std::fprintf(f,
+                     "      {\"jobs\": %d, \"suite_seconds\": %.3f, "
+                     "\"supernode_seconds\": %.3f, \"fingerprint\": "
+                     "{\"maj_gates\": %ld, \"maj_area\": %.4f, \"pga_gates\": %ld, "
+                     "\"abc_gates\": %ld, \"dc_gates\": %ld, "
+                     "\"supernode_gates\": %ld}}%s\n",
+                     level.jobs, level.suite_seconds, level.supernode_seconds,
+                     level.suite_fp.maj_gates, level.suite_fp.maj_area,
+                     level.suite_fp.pga_gates, level.suite_fp.abc_gates,
+                     level.suite_fp.dc_gates, level.supernode_gates,
+                     i + 1 < sc.levels.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(f, "    \"fingerprints_identical\": %s,\n",
+                 sc.fingerprints_identical ? "true" : "false");
+    std::fprintf(f, "    \"suite_speedup_4v1\": %.3f,\n", sc.suite_speedup_4v1);
+    std::fprintf(f, "    \"supernode_speedup_4v1\": %.3f\n", sc.supernode_speedup_4v1);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"cache\": {\n");
     std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(cs.hits));

@@ -1,14 +1,16 @@
 #pragma once
-// The m-dominator ablation sweep grid (circuits + knob configurations),
-// shared by the standalone reproduction harness (ablation_mdom.cpp) and
-// the perf-trajectory harness (bench_main.cpp) so the gated
-// BENCH_core.json fingerprints track the same grid the reproduction
-// binary runs. The run loops themselves still live in each binary (they
-// aggregate differently); keep their params wiring in sync when editing.
+// The m-dominator ablation sweep grid (circuits + knob configurations +
+// flow-params wiring), shared by the standalone reproduction harness
+// (ablation_mdom.cpp) and the perf-trajectory harness (bench_main.cpp) so
+// the gated BENCH_core.json fingerprints track the same sweep the
+// reproduction binary runs. The run loops themselves still live in each
+// binary (they aggregate differently).
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "decomp/flow.hpp"
 
 namespace bdsmaj::bench {
 
@@ -17,6 +19,16 @@ struct MdomSweepConfig {
     std::uint32_t else_fanin;
     int cap;
 };
+
+/// Flow parameters of one sweep point — the single source of truth for
+/// how the grid knobs map onto the engine.
+inline decomp::DecompFlowParams mdom_sweep_params(const MdomSweepConfig& cfg) {
+    decomp::DecompFlowParams params;
+    params.engine.maj.min_then_fanin = cfg.then_fanin;
+    params.engine.maj.min_else_fanin = cfg.else_fanin;
+    params.engine.maj.max_candidates = cfg.cap;
+    return params;
+}
 
 /// Circuits of the sweep, by Table I row label (quick widths).
 inline std::vector<std::string> mdom_sweep_circuits() {

@@ -10,6 +10,7 @@
 #include "bdd/bdd.hpp"
 #include "decomp/dominators.hpp"
 #include "decomp/engine.hpp"
+#include "network/builder.hpp"
 #include "tt/truth_table.hpp"
 
 namespace {

@@ -154,6 +154,18 @@ Bdd Manager::replace_node_with_const(const Bdd& f, NodeIndex v, bool value) {
         OpGuard guard(op_depth_);
         // Dense per-call memo tables would cost O(|nodes_|) to clear; use
         // lazily-grown vectors and reset only the touched entries.
+        //
+        // Multi-manager / multi-thread audit: `thread_local` isolates the
+        // scratch between threads, so concurrent calls on different
+        // managers (the parallel supernode pipeline: one manager per
+        // worker task) never share it. Within one thread the scratch is
+        // safe across managers of different sizes because every touched
+        // entry is reset to kEdgeInvalid before this function returns and
+        // no Edge stored here outlives the call — the `resize` below only
+        // ever grows with fresh kEdgeInvalid entries. What would NOT be
+        // safe is re-entrancy (two replace calls live on one thread's
+        // stack); replace_rec never calls back into public Manager ops,
+        // so that cannot happen.
         static thread_local std::vector<Edge> memo_reg, memo_comp;
         static thread_local std::vector<NodeIndex> touched;
         if (memo_reg.size() < nodes_.size()) {

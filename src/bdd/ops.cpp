@@ -202,6 +202,7 @@ Bdd Manager::apply_xnor(const Bdd& f, const Bdd& g) {
 }
 
 Bdd Manager::maj(const Bdd& a, const Bdd& b, const Bdd& c) {
+    assert(a.manager() == this && b.manager() == this && c.manager() == this);
     // Maj(a,b,c) = ITE(a, b|c, b&c); a single ITE keeps the work cached.
     return ite(a, apply_or(b, c), apply_and(b, c));
 }
@@ -211,6 +212,7 @@ Bdd Manager::maj(const Bdd& a, const Bdd& b, const Bdd& c) {
 // ---------------------------------------------------------------------------
 
 Bdd Manager::cofactor(const Bdd& f, int var, bool value) {
+    assert(f.manager() == this);
     // Restricting one variable is constrain against the literal.
     return constrain(f, value ? var_bdd(var) : nvar_bdd(var));
 }
@@ -269,10 +271,12 @@ std::size_t Manager::dag_size(std::span<const Bdd> fs) {
 }
 
 void Manager::visit_nodes(const Bdd& f, const std::function<void(NodeIndex)>& fn) {
+    assert(f.manager() == this);
     for_each_node(f.edge(), [&](NodeIndex idx) { fn(idx); });
 }
 
 std::vector<int> Manager::support_vars(const Bdd& f) {
+    assert(f.manager() == this);
     std::vector<bool> at_level(tables_.size(), false);
     for_each_node(f.edge(), [&](NodeIndex idx) { at_level[nodes_[idx].level] = true; });
     std::vector<int> vars;
@@ -284,6 +288,7 @@ std::vector<int> Manager::support_vars(const Bdd& f) {
 }
 
 double Manager::sat_fraction(const Bdd& f) {
+    assert(f.manager() == this);
     // Fraction of satisfying assignments; level gaps contribute factor 1
     // because both branches of a skipped variable agree. Memo lives in a
     // stamped side array: sat_memo_[i] is valid iff visit_stamp_[i] carries
@@ -308,6 +313,7 @@ double Manager::sat_fraction(const Bdd& f) {
 }
 
 bool Manager::eval(const Bdd& f, const std::vector<bool>& values_by_var) {
+    assert(f.manager() == this);
     Edge e = f.edge();
     bool complement = false;
     while (!edge_is_constant(e)) {
@@ -325,6 +331,7 @@ bool Manager::eval(const Bdd& f, const std::vector<bool>& values_by_var) {
 // ---------------------------------------------------------------------------
 
 tt::TruthTable Manager::to_truth_table(const Bdd& f, int num_tt_vars) {
+    assert(f.manager() == this);
     // Memo: stamped position map into a compact table vector, so repeated
     // calls never rehash and the tables are freed when the call returns.
     NodeMap pos = make_node_map();

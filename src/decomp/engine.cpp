@@ -29,9 +29,9 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     return *this;
 }
 
-BddDecomposer::BddDecomposer(bdd::Manager& mgr, net::HashedNetworkBuilder& builder,
+BddDecomposer::BddDecomposer(bdd::Manager& mgr, net::GateSink& sink,
                              std::vector<net::Signal> leaves, EngineParams params)
-    : mgr_(mgr), builder_(builder), leaves_(std::move(leaves)), params_(params) {}
+    : mgr_(mgr), builder_(sink), leaves_(std::move(leaves)), params_(params) {}
 
 Signal BddDecomposer::decompose(const Bdd& f) {
     assert(f.manager() == &mgr_);

@@ -18,7 +18,7 @@
 
 #include "bdd/bdd.hpp"
 #include "decomp/maj_decomp.hpp"
-#include "network/builder.hpp"
+#include "network/gate_sink.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -46,12 +46,14 @@ struct EngineStats {
     EngineStats& operator+=(const EngineStats& o);
 };
 
-/// Decomposes functions of one BDD manager into gates over leaf signals.
+/// Decomposes functions of one BDD manager into gates over leaf signals,
+/// emitted through any GateSink (the shared hash-consing builder for
+/// direct serial emission, a GateTape for an isolated parallel worker).
 /// Leaf signal i corresponds to manager variable i. The memoization across
 /// calls realizes BDD-level sharing inside a supernode.
 class BddDecomposer {
 public:
-    BddDecomposer(bdd::Manager& mgr, net::HashedNetworkBuilder& builder,
+    BddDecomposer(bdd::Manager& mgr, net::GateSink& sink,
                   std::vector<net::Signal> leaves, EngineParams params = {});
 
     /// Decompose `f` and return the signal computing it.
@@ -64,7 +66,7 @@ private:
     net::Signal decompose_regular(bdd::Edge e);
 
     bdd::Manager& mgr_;
-    net::HashedNetworkBuilder& builder_;
+    net::GateSink& builder_;
     std::vector<net::Signal> leaves_;
     EngineParams params_;
     EngineStats stats_;

@@ -1,11 +1,16 @@
 #include "decomp/flow.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <unordered_map>
+#include <stdexcept>
+#include <string>
 
+#include "network/builder.hpp"
 #include "network/cleanup.hpp"
+#include "network/gate_tape.hpp"
 #include "network/simulate.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -16,19 +21,58 @@ using net::Network;
 using net::NodeId;
 using net::Signal;
 
+/// Per-worker scratch for dense cone evaluation: node id -> (dense
+/// position + 1) within the current supernode, 0 = not in this supernode.
+/// Entries are reset after each supernode, so the O(network) allocation
+/// happens once per worker, not once per supernode.
+struct ConeScratch {
+    std::vector<std::uint32_t> pos;
+};
+
 /// Build the local BDD of a supernode: leaves become manager variables in
-/// order, cone nodes evaluate bottom-up.
+/// order, cone nodes evaluate bottom-up into a dense vector indexed by
+/// cone position (this is a per-supernode hot loop; a hash map here cost
+/// a lookup per gate input).
 Bdd build_supernode_bdd(bdd::Manager& mgr, const Network& network,
-                        const Supernode& sn) {
-    std::unordered_map<NodeId, Bdd> value;
-    for (std::size_t i = 0; i < sn.leaves.size(); ++i) {
-        value.emplace(sn.leaves[i], mgr.var_bdd(static_cast<int>(i)));
+                        const Supernode& sn, ConeScratch& scratch) {
+    if (scratch.pos.size() < network.node_count()) {
+        scratch.pos.resize(network.node_count(), 0);
     }
-    for (const NodeId id : sn.cone) {
+    const std::size_t num_leaves = sn.leaves.size();
+    std::vector<Bdd> value(num_leaves + sn.cone.size());
+    // Reset on every exit, including the malformed-supernode throw below:
+    // the scratch is reused for later supernodes on this worker, and a
+    // stale nonzero entry would alias an unrelated node into their cones.
+    // Entries not yet stamped are 0, so the unconditional sweep is safe.
+    struct ScratchReset {
+        ConeScratch& scratch;
+        const Supernode& sn;
+        ~ScratchReset() {
+            for (const NodeId leaf : sn.leaves) scratch.pos[leaf] = 0;
+            for (const NodeId id : sn.cone) scratch.pos[id] = 0;
+        }
+    } reset_guard{scratch, sn};
+    // Position 0 is the "not in this supernode" sentinel; a malformed
+    // supernode (cone fanin outside leaves + earlier cone) must stay a
+    // clean error in Release builds too, not an out-of-bounds read.
+    const auto at = [&](NodeId fanin) -> const Bdd& {
+        const std::uint32_t p = scratch.pos[fanin];
+        if (p == 0) {
+            throw std::logic_error("supernode cone references node " +
+                                   std::to_string(fanin) +
+                                   " outside its leaves/cone");
+        }
+        return value[p - 1];
+    };
+    for (std::size_t i = 0; i < num_leaves; ++i) {
+        assert(scratch.pos[sn.leaves[i]] == 0);
+        scratch.pos[sn.leaves[i]] = static_cast<std::uint32_t>(i + 1);
+        value[i] = mgr.var_bdd(static_cast<int>(i));
+    }
+    for (std::size_t j = 0; j < sn.cone.size(); ++j) {
+        const NodeId id = sn.cone[j];
         const net::Node& n = network.node(id);
-        const auto in = [&](std::size_t k) -> const Bdd& {
-            return value.at(n.fanins[k]);
-        };
+        const auto in = [&](std::size_t k) -> const Bdd& { return at(n.fanins[k]); };
         Bdd result;
         switch (n.kind) {
             case net::GateKind::kInput:
@@ -51,9 +95,34 @@ Bdd build_supernode_bdd(bdd::Manager& mgr, const Network& network,
                 result = net::sop_to_bdd(mgr, n.sop, in);
                 break;
         }
-        value.insert_or_assign(id, std::move(result));
+        assert(scratch.pos[id] == 0);
+        scratch.pos[id] = static_cast<std::uint32_t>(num_leaves + j + 1);
+        value[num_leaves + j] = std::move(result);
     }
-    return value.at(sn.root);
+    return at(sn.root);
+}
+
+/// Stage 1 of the pipeline, for one supernode: fresh local manager (the
+/// BDS local-BDD policy), sift, decompose into the supernode's private
+/// tape. Runs with no shared mutable state, so any number of these can
+/// execute concurrently.
+void decompose_supernode_to_tape(const Network& input, const Supernode& sn,
+                                 const DecompFlowParams& params,
+                                 ConeScratch& scratch, net::GateTape& tape,
+                                 EngineStats& stats) {
+    bdd::Manager mgr(static_cast<int>(sn.leaves.size()));
+    const Bdd f = build_supernode_bdd(mgr, input, sn, scratch);
+    if (params.reorder) mgr.sift();
+
+    std::vector<Signal> leaves;
+    leaves.reserve(sn.leaves.size());
+    // Variable i of the local manager is leaf i; sifting changes levels
+    // but never variable identities, so this binding survives reorder.
+    for (std::size_t i = 0; i < sn.leaves.size(); ++i) leaves.push_back(tape.leaf(i));
+
+    BddDecomposer decomposer(mgr, tape, std::move(leaves), params.engine);
+    tape.set_root(decomposer.decompose(f));
+    stats = decomposer.stats();
 }
 
 }  // namespace
@@ -63,31 +132,64 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
 
     const std::vector<Supernode> supernodes =
         partition_network(input, params.partition);
+    const int jobs = runtime::effective_jobs(params.jobs);
+    const int workers = runtime::parallel_for_worker_count(supernodes.size(), jobs);
 
     Network out(input.model_name());
     net::HashedNetworkBuilder builder(out);
     std::vector<Signal> signal_of(input.node_count(), Signal{});
-
     for (const NodeId id : input.inputs()) {
         signal_of[id] = Signal{out.add_input(input.node(id).name), false};
     }
 
     DecompFlowResult result;
-    for (const Supernode& sn : supernodes) {
-        // Fresh local manager per supernode: the BDS local-BDD policy.
-        bdd::Manager mgr(static_cast<int>(sn.leaves.size()));
-        const Bdd f = build_supernode_bdd(mgr, input, sn);
-        if (params.reorder) mgr.sift();
+    std::vector<Signal> leaf_signals;
+    const auto replay_tape = [&](const Supernode& sn, const net::GateTape& tape) {
+        leaf_signals.clear();
+        leaf_signals.reserve(sn.leaves.size());
+        for (const NodeId leaf : sn.leaves) leaf_signals.push_back(signal_of[leaf]);
+        signal_of[sn.root] = tape.replay(builder, leaf_signals);
+    };
 
-        std::vector<Signal> leaves;
-        leaves.reserve(sn.leaves.size());
-        // Variable i of the local manager is leaf i; sifting changes levels
-        // but never variable identities, so this binding survives reorder.
-        for (const NodeId leaf : sn.leaves) leaves.push_back(signal_of[leaf]);
+    // Both branches drive the builder with the identical call sequence —
+    // tape i replayed after tapes [0, i) — so the output network is
+    // byte-identical at any worker count.
+    if (workers <= 1) {
+        // Serial: decompose and replay one supernode at a time, so only
+        // one tape is ever live (the batch path below would hold the gate
+        // IR of the whole network at once for no parallelism in return).
+        ConeScratch scratch;
+        for (const Supernode& sn : supernodes) {
+            net::GateTape tape(sn.leaves.size());
+            EngineStats stats;
+            decompose_supernode_to_tape(input, sn, params, scratch, tape, stats);
+            replay_tape(sn, tape);
+            result.engine_stats += stats;
+        }
+    } else {
+        // Stage 1: per-supernode {local BDD, sift, decompose} into private
+        // tapes, fanned out over the work-stealing pool. Tape i depends
+        // only on `input` (read-only) and supernode i.
+        std::vector<net::GateTape> tapes;
+        tapes.reserve(supernodes.size());
+        for (const Supernode& sn : supernodes) tapes.emplace_back(sn.leaves.size());
+        std::vector<EngineStats> stats_of(supernodes.size());
+        std::vector<ConeScratch> scratch(static_cast<std::size_t>(workers));
+        runtime::parallel_for(
+            supernodes.size(), jobs, [&](std::size_t i, int worker) {
+                decompose_supernode_to_tape(input, supernodes[i], params,
+                                            scratch[static_cast<std::size_t>(worker)],
+                                            tapes[i], stats_of[i]);
+            });
 
-        BddDecomposer decomposer(mgr, builder, std::move(leaves), params.engine);
-        signal_of[sn.root] = decomposer.decompose(f);
-        result.engine_stats += decomposer.stats();
+        // Stage 2: serial deterministic replay, in supernode order, into
+        // the shared hash-consing builder — this is where on-line sharing
+        // happens, and it is what makes the output independent of the
+        // thread count.
+        for (std::size_t i = 0; i < supernodes.size(); ++i) {
+            replay_tape(supernodes[i], tapes[i]);
+            result.engine_stats += stats_of[i];
+        }
     }
 
     for (const net::OutputPort& po : input.outputs()) {

@@ -5,6 +5,13 @@
 //   factoring trees with on-line sharing -> cleaned decomposed network.
 //
 // `use_majority = false` gives the BDS-PGA baseline of Table I.
+//
+// The per-supernode stage (local BDD build, sifting, decomposition) is
+// embarrassingly parallel: every supernode gets a fresh manager and writes
+// its factoring tree to a private GateTape. The tapes are then replayed
+// serially, in supernode order, into the shared hash-consing builder —
+// so on-line sharing is preserved and the output network is byte-identical
+// at any `jobs` setting (see docs/performance.md, "Parallel pipeline").
 
 #include <string>
 
@@ -21,6 +28,10 @@ struct DecompFlowParams {
     bool reorder = true;
     /// Run structural cleanup on the result.
     bool final_cleanup = true;
+    /// Worker threads for the per-supernode stage: 1 = serial on the
+    /// calling thread, N > 1 = a work-stealing pool of N workers, <= 0 =
+    /// all hardware threads. The output network does not depend on this.
+    int jobs = 1;
 };
 
 struct DecompFlowResult {

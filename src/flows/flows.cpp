@@ -5,6 +5,7 @@
 #include "aig/convert.hpp"
 #include "aig/opt.hpp"
 #include "network/cleanup.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bdsmaj::flows {
 
@@ -72,6 +73,16 @@ SynthesisResult flow_abc(const net::Network& input) {
 
 std::vector<SynthesisResult> run_all_flows(const net::Network& input) {
     return {flow_bdsmaj(input), flow_bdspga(input), flow_abc(input), flow_dc(input)};
+}
+
+std::vector<std::vector<SynthesisResult>> run_suite(
+    const std::vector<net::Network>& inputs, int jobs) {
+    std::vector<std::vector<SynthesisResult>> results(inputs.size());
+    runtime::parallel_for(inputs.size(), runtime::effective_jobs(jobs),
+                          [&](std::size_t i, int /*worker*/) {
+                              results[i] = run_all_flows(inputs[i]);
+                          });
+    return results;
 }
 
 }  // namespace bdsmaj::flows

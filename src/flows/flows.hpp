@@ -37,4 +37,14 @@ struct SynthesisResult {
 /// All four, in Table II column order.
 [[nodiscard]] std::vector<SynthesisResult> run_all_flows(const net::Network& input);
 
+/// Batched suite synthesis: run_all_flows over every input, fanned out
+/// across `jobs` worker threads (1 = serial on the calling thread, <= 0 =
+/// all hardware threads). Entry i of the result is run_all_flows(inputs[i])
+/// — networks are independent, so the outputs are identical at any job
+/// count; only wall-clock changes. This is what the Table I/II sweeps and
+/// the bench harness use to push whole benchmark suites through the
+/// pipeline concurrently.
+[[nodiscard]] std::vector<std::vector<SynthesisResult>> run_suite(
+    const std::vector<net::Network>& inputs, int jobs = 1);
+
 }  // namespace bdsmaj::flows

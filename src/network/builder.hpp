@@ -14,41 +14,30 @@
 
 #include <map>
 
+#include "network/gate_sink.hpp"
 #include "network/network.hpp"
 
 namespace bdsmaj::net {
 
-/// A network node with an optional pending complement.
-struct Signal {
-    NodeId node = kNoNode;
-    bool complemented = false;
-
-    [[nodiscard]] Signal operator!() const { return Signal{node, !complemented}; }
-    bool operator==(const Signal&) const = default;
-    bool operator<(const Signal& o) const {
-        return node != o.node ? node < o.node : complemented < o.complemented;
-    }
-};
-
-class HashedNetworkBuilder {
+/// The direct-emission GateSink: Signals carry NodeIds of `net`.
+class HashedNetworkBuilder final : public GateSink {
 public:
     /// The builder appends to `net`; `net` must outlive the builder.
     explicit HashedNetworkBuilder(Network& net) : net_(net) {}
 
     [[nodiscard]] Network& network() noexcept { return net_; }
 
-    [[nodiscard]] Signal constant(bool value);
+    [[nodiscard]] Signal constant(bool value) override;
     [[nodiscard]] bool is_const(const Signal& s, bool value) const;
     [[nodiscard]] bool is_any_const(const Signal& s) const;
 
-    [[nodiscard]] Signal build_and(Signal a, Signal b);
-    [[nodiscard]] Signal build_or(Signal a, Signal b);
-    [[nodiscard]] Signal build_xor(Signal a, Signal b);
-    [[nodiscard]] Signal build_xnor(Signal a, Signal b) { return !build_xor(a, b); }
-    [[nodiscard]] Signal build_maj(Signal a, Signal b, Signal c);
+    [[nodiscard]] Signal build_and(Signal a, Signal b) override;
+    [[nodiscard]] Signal build_or(Signal a, Signal b) override;
+    [[nodiscard]] Signal build_xor(Signal a, Signal b) override;
+    [[nodiscard]] Signal build_maj(Signal a, Signal b, Signal c) override;
     /// MUX is expanded to OR(AND(s,t), AND(!s,e)) when it does not simplify,
     /// keeping decomposed networks within the Table I operator alphabet.
-    [[nodiscard]] Signal build_mux(Signal s, Signal t, Signal e);
+    [[nodiscard]] Signal build_mux(Signal s, Signal t, Signal e) override;
     /// Hash-consed SOP node over realized fanins.
     [[nodiscard]] Signal build_sop(const std::vector<Signal>& fanins, const Sop& sop);
 

@@ -1,0 +1,55 @@
+#pragma once
+// Gate emission interface: the contract between the decomposition engine
+// and whatever consumes its factoring trees.
+//
+// The engine's recursion is driven purely by BDD structure — it combines
+// the Signals a sink hands back but never inspects them. That makes the
+// sink swappable: `HashedNetworkBuilder` emits gates directly into the
+// shared hash-consed network (the classic serial path), while `GateTape`
+// records the call sequence into a position-independent IR that a worker
+// thread can fill in isolation and the flow can replay serially later.
+// The node-id space inside a Signal is therefore sink-defined; Signals
+// from different sinks must not be mixed.
+
+#include <cstdint>
+
+namespace bdsmaj::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = 0xffffffffu;
+
+/// A sink-defined node reference with an optional pending complement.
+/// For `HashedNetworkBuilder` the node is a network NodeId; for `GateTape`
+/// it is a tape-local id. Complement stays symbolic until a sink
+/// materializes it.
+struct Signal {
+    NodeId node = kNoNode;
+    bool complemented = false;
+
+    [[nodiscard]] Signal operator!() const { return Signal{node, !complemented}; }
+    bool operator==(const Signal&) const = default;
+    bool operator<(const Signal& o) const {
+        return node != o.node ? node < o.node : complemented < o.complemented;
+    }
+};
+
+/// Abstract gate sink. Implementations must be deterministic functions of
+/// the call sequence: replaying the same sequence of calls (with equal
+/// operand Signals) must produce the same results. That property is what
+/// lets `GateTape::replay` reproduce a direct-emission run bit-for-bit.
+class GateSink {
+public:
+    virtual ~GateSink() = default;
+
+    [[nodiscard]] virtual Signal constant(bool value) = 0;
+    [[nodiscard]] virtual Signal build_and(Signal a, Signal b) = 0;
+    [[nodiscard]] virtual Signal build_or(Signal a, Signal b) = 0;
+    [[nodiscard]] virtual Signal build_xor(Signal a, Signal b) = 0;
+    [[nodiscard]] virtual Signal build_maj(Signal a, Signal b, Signal c) = 0;
+    /// (select, then, else); sinks may expand or simplify.
+    [[nodiscard]] virtual Signal build_mux(Signal s, Signal t, Signal e) = 0;
+
+    [[nodiscard]] Signal build_xnor(Signal a, Signal b) { return !build_xor(a, b); }
+};
+
+}  // namespace bdsmaj::net

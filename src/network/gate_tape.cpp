@@ -1,0 +1,67 @@
+#include "network/gate_tape.hpp"
+
+#include <cassert>
+
+namespace bdsmaj::net {
+
+Signal GateTape::constant(bool value) {
+    return Signal{static_cast<NodeId>(num_leaves_), value};
+}
+
+Signal GateTape::record(Op op, Signal a, Signal b, Signal c) {
+    const NodeId id = static_cast<NodeId>(num_leaves_ + 1 + ops_.size());
+    ops_.push_back(Entry{op, a, b, c});
+    return Signal{id, false};
+}
+
+Signal GateTape::build_and(Signal a, Signal b) { return record(Op::kAnd, a, b, {}); }
+Signal GateTape::build_or(Signal a, Signal b) { return record(Op::kOr, a, b, {}); }
+Signal GateTape::build_xor(Signal a, Signal b) { return record(Op::kXor, a, b, {}); }
+Signal GateTape::build_maj(Signal a, Signal b, Signal c) {
+    return record(Op::kMaj, a, b, c);
+}
+Signal GateTape::build_mux(Signal s, Signal t, Signal e) {
+    return record(Op::kMux, s, t, e);
+}
+
+Signal GateTape::replay(GateSink& sink, std::span<const Signal> leaves) const {
+    assert(leaves.size() == num_leaves_);
+    // value[k] is the sink-space signal of tape op k, regular polarity.
+    std::vector<Signal> value(ops_.size());
+    const auto resolve = [&](Signal s) -> Signal {
+        const std::size_t idx = s.node;
+        if (idx < num_leaves_) {
+            return s.complemented ? !leaves[idx] : leaves[idx];
+        }
+        if (idx == num_leaves_) {
+            // The complement bit IS the constant's value (see header); the
+            // sink materializes exactly the polarity the engine asked for.
+            return sink.constant(s.complemented);
+        }
+        const Signal r = value[idx - num_leaves_ - 1];
+        return s.complemented ? !r : r;
+    };
+    for (std::size_t k = 0; k < ops_.size(); ++k) {
+        const Entry& e = ops_[k];
+        switch (e.op) {
+            case Op::kAnd:
+                value[k] = sink.build_and(resolve(e.a), resolve(e.b));
+                break;
+            case Op::kOr:
+                value[k] = sink.build_or(resolve(e.a), resolve(e.b));
+                break;
+            case Op::kXor:
+                value[k] = sink.build_xor(resolve(e.a), resolve(e.b));
+                break;
+            case Op::kMaj:
+                value[k] = sink.build_maj(resolve(e.a), resolve(e.b), resolve(e.c));
+                break;
+            case Op::kMux:
+                value[k] = sink.build_mux(resolve(e.a), resolve(e.b), resolve(e.c));
+                break;
+        }
+    }
+    return resolve(root_);
+}
+
+}  // namespace bdsmaj::net

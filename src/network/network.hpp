@@ -15,12 +15,12 @@
 #include <unordered_map>
 #include <vector>
 
+// NodeId / kNoNode / Signal live in gate_sink.hpp so the emission
+// interface has no dependency on the network container.
+#include "network/gate_sink.hpp"
 #include "network/sop.hpp"
 
 namespace bdsmaj::net {
-
-using NodeId = std::uint32_t;
-constexpr NodeId kNoNode = 0xffffffffu;
 
 enum class GateKind : std::uint8_t {
     kInput,

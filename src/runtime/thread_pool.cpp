@@ -1,0 +1,153 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace bdsmaj::runtime {
+
+namespace {
+
+// Set while a pool worker runs its loop; a thread serves at most one pool
+// at a time, but nested parallelism makes a worker of pool A the caller
+// of pool B — so "am I a worker of *this* pool" needs the pool identity,
+// not just an index.
+thread_local int tl_worker_index = -1;
+thread_local const void* tl_worker_pool = nullptr;
+
+}  // namespace
+
+int effective_jobs(int requested) noexcept {
+    if (requested >= 1) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+    const int n = std::max(threads, 1);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        // A worker of THIS pool submitting from inside a task keeps the
+        // child local so its own LIFO pop drains it depth-first; a worker
+        // of some other pool (nested parallelism) is an outside submitter
+        // and round-robins like everyone else.
+        const int self = tl_worker_pool == this ? tl_worker_index : -1;
+        target = self >= 0 && static_cast<std::size_t>(self) < workers_.size()
+                     ? static_cast<std::size_t>(self)
+                     : next_worker_++ % workers_.size();
+        ++pending_;
+        ++queued_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->queue.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(int index, std::function<void()>& task) {
+    Worker& w = *workers_[static_cast<std::size_t>(index)];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.queue.empty()) return false;
+    task = std::move(w.queue.back());  // own work: LIFO
+    w.queue.pop_back();
+    return true;
+}
+
+bool ThreadPool::try_steal(int thief, std::function<void()>& task) {
+    const std::size_t n = workers_.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        Worker& victim = *workers_[(static_cast<std::size_t>(thief) + off) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.queue.empty()) continue;
+        task = std::move(victim.queue.front());  // stolen work: FIFO
+        victim.queue.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+    tl_worker_index = index;
+    tl_worker_pool = this;
+    std::function<void()> task;
+    for (;;) {
+        if (try_pop(index, task) || try_steal(index, task)) {
+            {
+                std::lock_guard<std::mutex> lock(sleep_mutex_);
+                --queued_;
+            }
+            task();
+            task = nullptr;
+            std::lock_guard<std::mutex> lock(sleep_mutex_);
+            if (--pending_ == 0) idle_cv_.notify_all();
+            continue;
+        }
+        // Nothing to pop or steal. Wait on queued_ rather than a bare
+        // notification: a submit that lands between the failed scan and
+        // this lock keeps the predicate true, so the wakeup cannot be
+        // missed. Shutdown drains the deques before workers exit.
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+        if (stopping_ && queued_ == 0) break;
+    }
+    tl_worker_index = -1;
+    tl_worker_pool = nullptr;
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int ThreadPool::worker_index() noexcept { return tl_worker_index; }
+
+int parallel_for_worker_count(std::size_t n, int jobs) noexcept {
+    if (jobs <= 1 || n <= 1) return 1;
+    return static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), n));
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t, int)>& body) {
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) body(i, 0);
+        return;
+    }
+    // A body exception must not unwind through a pool thread (that would
+    // std::terminate); capture the first one and rethrow to the caller.
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    ThreadPool pool(parallel_for_worker_count(n, jobs));
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&body, &error_mutex, &first_error, i] {
+            try {
+                body(i, ThreadPool::worker_index());
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+    }
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bdsmaj::runtime

@@ -1,0 +1,89 @@
+#pragma once
+// Work-stealing thread pool for the parallel synthesis pipeline.
+//
+// Each worker owns a deque: it pops its own tasks LIFO (cache-warm, and a
+// worker that spawns subtasks drains them depth-first) and steals FIFO
+// from the front of a sibling's deque when its own runs dry (the stolen
+// task is the oldest, i.e. likely the largest remaining unit). Submission
+// round-robins across workers, so a batch of supernode tasks starts out
+// evenly spread and stealing only has to correct skew.
+//
+// Determinism note: the pool schedules non-deterministically — callers
+// that need reproducible output must make tasks independent and merge
+// results in a fixed order (the flow layer's tape replay does exactly
+// that). Nothing in this file depends on timing for correctness.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bdsmaj::runtime {
+
+/// Resolve a jobs request: n >= 1 is taken as-is; n <= 0 means "all
+/// hardware threads" (at least 1).
+[[nodiscard]] int effective_jobs(int requested) noexcept;
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers (clamped to at least 1).
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+    /// Enqueue a task. Safe from any thread, including pool workers
+    /// (a worker pushes to its own deque).
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished. Tasks submitted
+    /// while waiting are waited for too.
+    void wait_idle();
+
+    /// Index of the calling pool worker in [0, size()), or -1 when called
+    /// from a thread that is not a worker of any pool.
+    [[nodiscard]] static int worker_index() noexcept;
+
+private:
+    struct Worker {
+        std::deque<std::function<void()>> queue;
+        std::mutex mutex;
+    };
+
+    void worker_loop(int index);
+    bool try_pop(int index, std::function<void()>& task);
+    bool try_steal(int thief, std::function<void()>& task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::mutex sleep_mutex_;
+    std::condition_variable work_cv_;   // workers sleep here when starved
+    std::condition_variable idle_cv_;   // wait_idle sleeps here
+    std::size_t pending_ = 0;           // submitted but not yet finished
+    std::size_t queued_ = 0;            // submitted but not yet started
+    std::size_t next_worker_ = 0;       // round-robin submission cursor
+    bool stopping_ = false;
+};
+
+/// Number of workers parallel_for will use for (n, jobs): the thread
+/// count of the pool it spins up, or 1 for the inline path. Callers
+/// sizing per-worker scratch must use this, not re-derive the clamp.
+[[nodiscard]] int parallel_for_worker_count(std::size_t n, int jobs) noexcept;
+
+/// Run `body(i, worker)` for every i in [0, n) across parallel_for_
+/// worker_count(n, jobs) workers; `worker` is a stable index below that
+/// count, for per-worker scratch. jobs <= 1 (after effective_jobs
+/// resolution the caller did, if any) or n <= 1 runs inline on the
+/// calling thread with worker 0. An exception thrown by `body` is
+/// captured and rethrown on the calling thread after every index has
+/// been attempted (first one wins); it does not kill the pool.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t, int)>& body);
+
+}  // namespace bdsmaj::runtime

@@ -9,6 +9,7 @@
 #include <random>
 
 #include "decomp/engine.hpp"
+#include "network/builder.hpp"
 #include "network/simulate.hpp"
 #include "tt/truth_table.hpp"
 

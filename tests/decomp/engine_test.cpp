@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "network/builder.hpp"
 #include "network/simulate.hpp"
 #include "tt/truth_table.hpp"
 

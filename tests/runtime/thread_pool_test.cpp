@@ -1,0 +1,141 @@
+// Work-stealing thread pool: completeness (every task runs exactly once),
+// worker identity for per-worker scratch, nested submission, and skewed
+// loads that force stealing.
+
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace bdsmaj::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskOnce) {
+    ThreadPool pool(4);
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&hits, i] { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+    }
+    pool.wait_idle();
+    for (int i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
+    ThreadPool pool(3);
+    std::atomic<int> bad{0};
+    for (int i = 0; i < 200; ++i) {
+        pool.submit([&bad] {
+            const int w = ThreadPool::worker_index();
+            if (w < 0 || w >= 3) bad.fetch_add(1);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(ThreadPool::worker_index(), -1) << "caller is not a pool worker";
+}
+
+TEST(ThreadPool, TasksMaySubmitSubtasks) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+            count.fetch_add(1);
+            for (int j = 0; j < 4; ++j) {
+                pool.submit([&count] { count.fetch_add(1); });
+            }
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 8 + 8 * 4);
+}
+
+TEST(ThreadPool, SkewedLoadIsStolen) {
+    // One deliberately slow task plus many fast ones: with stealing the
+    // fast tasks complete on other workers while the slow one runs, and
+    // wait_idle still sees everything finish.
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        done.fetch_add(1);
+    });
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&done] { done.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+    ThreadPool pool(2);
+    pool.wait_idle();  // must not hang
+    SUCCEED();
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+    constexpr std::size_t kN = 777;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(kN, 4, [&](std::size_t i, int worker) {
+        EXPECT_GE(worker, 0);
+        EXPECT_LT(worker, 4);
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, InlineWhenSerial) {
+    // jobs <= 1 runs on the calling thread with worker id 0.
+    const std::thread::id self = std::this_thread::get_id();
+    std::size_t visited = 0;
+    parallel_for(16, 1, [&](std::size_t, int worker) {
+        EXPECT_EQ(worker, 0);
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        ++visited;
+    });
+    EXPECT_EQ(visited, 16u);
+}
+
+TEST(ParallelFor, BodyExceptionRethrownOnCaller) {
+    // An exception inside a task must surface on the calling thread, not
+    // std::terminate a pool worker; remaining indices still run.
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        parallel_for(50, 4,
+                     [&](std::size_t i, int) {
+                         ran.fetch_add(1);
+                         if (i == 7) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelFor, WorkerCountMatchesScratchContract) {
+    // Callers size per-worker scratch with parallel_for_worker_count; the
+    // worker ids handed to the body must stay below it.
+    for (const auto& [n, jobs] : std::vector<std::pair<std::size_t, int>>{
+             {0, 4}, {1, 4}, {3, 8}, {100, 4}, {16, 1}}) {
+        const int workers = parallel_for_worker_count(n, jobs);
+        ASSERT_GE(workers, 1);
+        parallel_for(n, jobs, [&, workers](std::size_t, int worker) {
+            EXPECT_GE(worker, 0);
+            EXPECT_LT(worker, workers);
+        });
+    }
+}
+
+TEST(EffectiveJobs, ResolvesRequests) {
+    EXPECT_EQ(effective_jobs(1), 1);
+    EXPECT_EQ(effective_jobs(7), 7);
+    EXPECT_GE(effective_jobs(0), 1) << "0 means all hardware threads";
+    EXPECT_GE(effective_jobs(-3), 1);
+}
+
+}  // namespace
+}  // namespace bdsmaj::runtime

@@ -9,6 +9,8 @@
 //   --no-reorder                  skip per-supernode sifting
 //   --k-local F / --k-global F    majority selection sizing factors
 //   --iterations N                balancing iteration limit
+//   --jobs N                      supernode worker threads (0 = all cores);
+//                                 output is identical at any setting
 //   --quick                       reduced widths for @benchmarks
 //   --verify                      equivalence-check outputs (default on)
 //   --quiet                       only print the summary line
@@ -39,6 +41,7 @@ struct Options {
     bool quick = false;
     bool verify = true;
     bool quiet = false;
+    int jobs = 1;
     decomp::MajDecompParams maj;
 };
 
@@ -47,7 +50,7 @@ int usage() {
                  "usage: bdsmaj_cli [--flow bdsmaj|bdspga|abc|dc] [--out f.blif]\n"
                  "                  [--map-out f.blif] [--no-maj] [--no-reorder]\n"
                  "                  [--k-local F] [--k-global F] [--iterations N]\n"
-                 "                  [--quick] [--no-verify] [--quiet]\n"
+                 "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
                  "                  <input.blif | @benchmark>\n");
     return 2;
 }
@@ -89,6 +92,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.maj.max_iterations = std::atoi(v);
+        } else if (arg == "--jobs") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.jobs = std::atoi(v);
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--no-verify") {
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
         params.engine.use_majority = opt.flow == "bdsmaj";
         params.engine.maj = opt.maj;
         params.reorder = opt.reorder;
+        params.jobs = opt.jobs;
         decomp::DecompFlowResult d = decomp::decompose_network(input, params);
         result.flow_name = opt.flow == "bdsmaj" ? "BDS-MAJ" : "BDS-PGA";
         result.engine_stats = d.engine_stats;

@@ -3,7 +3,9 @@
 # smoke configuration, failing on a >20% wall-time regression (or >20%
 # ops/sec drop) against the smoke_reference block of the committed
 # BENCH_core.json — and on any output-fingerprint drift, which would mean
-# the synthesis results themselves changed.
+# the synthesis results themselves changed. The smoke run also pushes the
+# suite through the parallel pipeline at jobs = 1/2/4 and fails if the
+# jobs=4 fingerprints differ from jobs=1 (thread-count determinism).
 #
 #   tools/ci.sh                        # full gate
 #   BDSMAJ_CI_SKIP_BENCH=1 ...         # tier-1 only
@@ -77,6 +79,16 @@ for section in ("table2_synthesis", "ablation_mdom"):
         failures.append(f"{section}: output fingerprint drifted — synthesis "
                         f"results changed:\n  committed {committed[section]['fingerprint']}"
                         f"\n  fresh     {fresh[section]['fingerprint']}")
+
+# Thread-count determinism: the parallel pipeline must produce identical
+# outputs at jobs = 1/2/4. The harness compares the per-level fingerprints
+# itself; any mismatch (in particular jobs=4 vs jobs=1) fails the gate.
+scaling = fresh.get("thread_scaling")
+if scaling is None:
+    failures.append("thread_scaling: section missing from fresh bench run")
+elif not scaling["fingerprints_identical"]:
+    failures.append("thread_scaling: output fingerprints drift across job "
+                    f"counts:\n  levels {scaling['levels']}")
 if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"]:
     failures.append("table2_synthesis: equivalence verification failed")
 if fresh["ablation_mdom"]["equivalent"] != fresh["ablation_mdom"]["runs"]:
