@@ -17,6 +17,10 @@
 //                  level parallelism), with a fingerprint per level: the
 //                  pipeline must be byte-deterministic at any thread
 //                  count, and tools/ci.sh fails if it is not.
+//   * service    — the table2 circuits as concurrent async jobs through
+//                  flows::SynthesisService on the shared process pool;
+//                  the aggregate fingerprint must equal the serial
+//                  table2 run's (tools/ci.sh fails if it does not).
 //
 // Fingerprints (gate counts, EngineStats) are recorded alongside the wall
 // times so that perf work can be checked to leave synthesis results
@@ -44,7 +48,9 @@
 #include "benchgen/suite.hpp"
 #include "decomp/flow.hpp"
 #include "flows/flows.hpp"
+#include "flows/service.hpp"
 #include "network/simulate.hpp"
+#include "runtime/scheduler.hpp"
 #include "tt/truth_table.hpp"
 
 namespace {
@@ -336,6 +342,59 @@ ScalingResult bench_thread_scaling(bool smoke) {
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Service throughput: the table2 circuits as concurrent async jobs.
+// ---------------------------------------------------------------------------
+
+struct ServiceBenchResult {
+    double seconds = 0;
+    int jobs = 0;
+    int completed = 0;
+    int pool_threads = 0;
+    SuiteFingerprint fp;
+    bool matches_serial = true;
+};
+
+ServiceBenchResult bench_service(bool smoke, const Table2Result& t2) {
+    std::vector<std::string> names = benchgen::benchmark_names();
+    if (smoke) names.resize(4);
+    std::vector<net::Network> inputs;
+    for (const auto& name : names) {
+        inputs.push_back(benchgen::benchmark_by_name(name, /*quick=*/true));
+    }
+    ServiceBenchResult out;
+    out.jobs = static_cast<int>(names.size());
+    out.pool_threads = runtime::global_pool_threads();
+    flows::SynthesisService service;
+    flows::SynthesisJobParams jp;  // all four flows, budget 1 per job —
+                                   // concurrency comes from admission
+    std::vector<flows::SynthesisService::Submission> subs;
+    subs.reserve(inputs.size());
+    const auto start = Clock::now();
+    for (net::Network& input : inputs) {
+        subs.push_back(service.submit(std::move(input), jp));
+    }
+    for (auto& sub : subs) {
+        const flows::FlowResult r = sub.result.get();
+        const std::vector<flows::SynthesisResult>& per_flow = r.results.at(0);
+        out.fp.maj_gates += per_flow[0].mapped.gate_count;
+        out.fp.maj_area += per_flow[0].mapped.area_um2;
+        out.fp.pga_gates += per_flow[1].mapped.gate_count;
+        out.fp.abc_gates += per_flow[2].mapped.gate_count;
+        out.fp.dc_gates += per_flow[3].mapped.gate_count;
+    }
+    out.seconds = seconds_since(start);
+    out.completed = service.stats().completed;
+    SuiteFingerprint serial;
+    serial.maj_gates = t2.maj_gates;
+    serial.maj_area = t2.maj_area;
+    serial.pga_gates = t2.pga_gates;
+    serial.abc_gates = t2.abc_gates;
+    serial.dc_gates = t2.dc_gates;
+    out.matches_serial = out.fp == serial && out.completed == out.jobs;
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,6 +437,13 @@ int main(int argc, char** argv) {
                 sc.fingerprints_identical ? "identical" : "DRIFTED",
                 sc.suite_speedup_4v1);
 
+    std::printf("bench_core: service throughput (%s)...\n",
+                smoke ? "smoke subset" : "full suite");
+    const ServiceBenchResult sv = bench_service(smoke, t2);
+    std::printf("  %d jobs in %.2f s on %d pool threads, fingerprint %s\n",
+                sv.jobs, sv.seconds, sv.pool_threads,
+                sv.matches_serial ? "matches serial" : "DRIFTED");
+
     const bdd::CacheStats cs = [] {
         bdd::Manager mgr(10);
         std::mt19937_64 rng(7);
@@ -394,7 +460,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v2\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v3\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"ops_per_sec\": {\n");
     std::fprintf(f, "    \"ite\": %.1f,\n", ops.ite_ops_per_sec);
@@ -451,6 +517,20 @@ int main(int argc, char** argv) {
                  sc.fingerprints_identical ? "true" : "false");
     std::fprintf(f, "    \"suite_speedup_4v1\": %.3f,\n", sc.suite_speedup_4v1);
     std::fprintf(f, "    \"supernode_speedup_4v1\": %.3f\n", sc.supernode_speedup_4v1);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"service_throughput\": {\n");
+    std::fprintf(f, "    \"seconds\": %.3f,\n", sv.seconds);
+    std::fprintf(f, "    \"jobs\": %d,\n", sv.jobs);
+    std::fprintf(f, "    \"completed\": %d,\n", sv.completed);
+    std::fprintf(f, "    \"pool_threads\": %d,\n", sv.pool_threads);
+    std::fprintf(f, "    \"fingerprint\": {\n");
+    std::fprintf(f, "      \"maj_gates\": %ld,\n", sv.fp.maj_gates);
+    std::fprintf(f, "      \"maj_area\": %.4f,\n", sv.fp.maj_area);
+    std::fprintf(f, "      \"pga_gates\": %ld,\n", sv.fp.pga_gates);
+    std::fprintf(f, "      \"abc_gates\": %ld,\n", sv.fp.abc_gates);
+    std::fprintf(f, "      \"dc_gates\": %ld\n", sv.fp.dc_gates);
+    std::fprintf(f, "    },\n");
+    std::fprintf(f, "    \"matches_serial\": %s\n", sv.matches_serial ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"cache\": {\n");
     std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(cs.hits));

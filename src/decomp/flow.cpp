@@ -1,16 +1,23 @@
 #include "decomp/flow.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "network/builder.hpp"
 #include "network/cleanup.hpp"
 #include "network/gate_tape.hpp"
 #include "network/simulate.hpp"
-#include "runtime/thread_pool.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -167,29 +174,107 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
             result.engine_stats += stats;
         }
     } else {
-        // Stage 1: per-supernode {local BDD, sift, decompose} into private
-        // tapes, fanned out over the work-stealing pool. Tape i depends
-        // only on `input` (read-only) and supernode i.
+        // Pipelined: stage 1 (per-supernode {local BDD, sift, decompose}
+        // into private tapes) fans out over the shared process pool while
+        // THIS thread replays finished tapes strictly in supernode order
+        // into the shared hash-consing builder — replay of tape i overlaps
+        // the decomposition of i+1. The fixed replay order is what keeps
+        // the output byte-identical at any worker count; the window caps
+        // how many decomposed-but-unreplayed tapes are held at once, so
+        // memory stays bounded instead of holding the gate IR of the
+        // whole network.
+        const std::size_t n = supernodes.size();
         std::vector<net::GateTape> tapes;
-        tapes.reserve(supernodes.size());
+        tapes.reserve(n);
         for (const Supernode& sn : supernodes) tapes.emplace_back(sn.leaves.size());
-        std::vector<EngineStats> stats_of(supernodes.size());
+        std::vector<EngineStats> stats_of(n);
         std::vector<ConeScratch> scratch(static_cast<std::size_t>(workers));
-        runtime::parallel_for(
-            supernodes.size(), jobs, [&](std::size_t i, int worker) {
-                decompose_supernode_to_tape(input, supernodes[i], params,
-                                            scratch[static_cast<std::size_t>(worker)],
-                                            tapes[i], stats_of[i]);
-            });
+        const std::size_t window =
+            params.replay_window > 0
+                ? static_cast<std::size_t>(params.replay_window)
+                : 2 * static_cast<std::size_t>(workers) + 2;
 
-        // Stage 2: serial deterministic replay, in supernode order, into
-        // the shared hash-consing builder — this is where on-line sharing
-        // happens, and it is what makes the output independent of the
-        // thread count.
-        for (std::size_t i = 0; i < supernodes.size(); ++i) {
-            replay_tape(supernodes[i], tapes[i]);
-            result.engine_stats += stats_of[i];
+        std::mutex m;
+        std::condition_variable ready_cv;  // replayer waits for tape `replayed`
+        std::condition_variable space_cv;  // runners wait for window space
+        std::size_t next = 0;              // next supernode to decompose
+        std::size_t replayed = 0;          // tapes already merged
+        std::vector<std::uint8_t> ready(n, 0);
+        std::exception_ptr err;
+
+        const auto decompose_one = [&](std::size_t i, int slot) {
+            try {
+                decompose_supernode_to_tape(input, supernodes[i], params,
+                                            scratch[static_cast<std::size_t>(slot)],
+                                            tapes[i], stats_of[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(m);
+                if (!err) err = std::current_exception();
+                space_cv.notify_all();
+            }
+            std::lock_guard<std::mutex> lock(m);
+            ready[i] = 1;
+            ready_cv.notify_all();
+        };
+
+        const std::function<void(int)> runner = [&](int slot) {
+            for (;;) {
+                std::size_t i;
+                {
+                    std::unique_lock<std::mutex> lock(m);
+                    // Strict <: next - replayed counts in-flight tapes
+                    // too, so this is what holds the outstanding gate IR
+                    // to at most `window` supernodes.
+                    space_cv.wait(lock, [&] {
+                        return err != nullptr || next >= n ||
+                               next - replayed < window;
+                    });
+                    if (err != nullptr || next >= n) break;
+                    i = next++;
+                }
+                decompose_one(i, slot);
+            }
+        };
+
+        runtime::HelperSet helpers(workers - 1, runner);
+        // The caller is the replayer — and runner slot 0: when the next
+        // tape in order is not ready yet it decomposes a supernode itself
+        // instead of idling, so progress never depends on the pool having
+        // free workers (decompose_network stays safe to call from inside
+        // a pool task).
+        {
+            std::unique_lock<std::mutex> lock(m);
+            while (replayed < n && err == nullptr) {
+                if (ready[replayed]) {
+                    const std::size_t i = replayed;
+                    lock.unlock();
+                    try {
+                        replay_tape(supernodes[i], tapes[i]);
+                        tapes[i] = net::GateTape(0);  // free the gate IR now
+                    } catch (...) {
+                        lock.lock();
+                        if (!err) err = std::current_exception();
+                        space_cv.notify_all();
+                        break;
+                    }
+                    result.engine_stats += stats_of[i];
+                    lock.lock();
+                    ++replayed;
+                    space_cv.notify_all();
+                } else if (next < n && next - replayed < window) {
+                    const std::size_t i = next++;
+                    lock.unlock();
+                    decompose_one(i, 0);
+                    lock.lock();
+                } else {
+                    ready_cv.wait(lock, [&] {
+                        return ready[replayed] != 0 || err != nullptr;
+                    });
+                }
+            }
         }
+        helpers.join();
+        if (err) std::rethrow_exception(err);
     }
 
     for (const net::OutputPort& po : input.outputs()) {

@@ -8,10 +8,14 @@
 //
 // The per-supernode stage (local BDD build, sifting, decomposition) is
 // embarrassingly parallel: every supernode gets a fresh manager and writes
-// its factoring tree to a private GateTape. The tapes are then replayed
-// serially, in supernode order, into the shared hash-consing builder —
-// so on-line sharing is preserved and the output network is byte-identical
-// at any `jobs` setting (see docs/performance.md, "Parallel pipeline").
+// its factoring tree to a private GateTape. The tapes are replayed by the
+// calling thread, strictly in supernode order, into the shared
+// hash-consing builder — pipelined with the decomposition of later
+// supernodes (replay of tape i overlaps the decomposition of i+1, with a
+// bounded tape window), on the process-wide shared pool
+// (runtime::global_pool()). On-line sharing is preserved and the output
+// network is byte-identical at any `jobs` setting (see
+// docs/performance.md, "Parallel pipeline").
 
 #include <string>
 
@@ -28,10 +32,17 @@ struct DecompFlowParams {
     bool reorder = true;
     /// Run structural cleanup on the result.
     bool final_cleanup = true;
-    /// Worker threads for the per-supernode stage: 1 = serial on the
-    /// calling thread, N > 1 = a work-stealing pool of N workers, <= 0 =
-    /// all hardware threads. The output network does not depend on this.
+    /// Worker budget for the per-supernode stage: 1 = serial on the
+    /// calling thread, N > 1 = up to N concurrent runners on the shared
+    /// process pool (runtime::global_pool()), <= 0 = all hardware
+    /// threads. The output network does not depend on this.
     int jobs = 1;
+    /// Parallel path only: how many decomposed-but-not-yet-replayed tapes
+    /// may exist at once. Replay of supernode i is pipelined with the
+    /// decomposition of later supernodes, and this window bounds the gate
+    /// IR held in memory; <= 0 picks 2 * workers + 2. The output network
+    /// does not depend on this either.
+    int replay_window = 0;
 };
 
 struct DecompFlowResult {

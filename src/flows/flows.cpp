@@ -5,7 +5,7 @@
 #include "aig/convert.hpp"
 #include "aig/opt.hpp"
 #include "network/cleanup.hpp"
-#include "runtime/thread_pool.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace bdsmaj::flows {
 
@@ -18,10 +18,11 @@ double seconds_since(Clock::time_point start) {
 }
 
 SynthesisResult from_decomposition(std::string name, const net::Network& input,
-                                   bool use_majority) {
+                                   bool use_majority, int jobs) {
     const auto start = Clock::now();
     decomp::DecompFlowParams params;
     params.engine.use_majority = use_majority;
+    params.jobs = jobs;
     decomp::DecompFlowResult d = decomp::decompose_network(input, params);
     SynthesisResult result;
     result.flow_name = std::move(name);
@@ -40,12 +41,12 @@ const mapping::CellLibrary& default_library() {
     return lib;
 }
 
-SynthesisResult flow_bdsmaj(const net::Network& input) {
-    return from_decomposition("BDS-MAJ", input, /*use_majority=*/true);
+SynthesisResult flow_bdsmaj(const net::Network& input, int jobs) {
+    return from_decomposition("BDS-MAJ", input, /*use_majority=*/true, jobs);
 }
 
-SynthesisResult flow_bdspga(const net::Network& input) {
-    return from_decomposition("BDS-PGA", input, /*use_majority=*/false);
+SynthesisResult flow_bdspga(const net::Network& input, int jobs) {
+    return from_decomposition("BDS-PGA", input, /*use_majority=*/false, jobs);
 }
 
 SynthesisResult flow_abc(const net::Network& input) {
@@ -71,8 +72,9 @@ SynthesisResult flow_abc(const net::Network& input) {
     return result;
 }
 
-std::vector<SynthesisResult> run_all_flows(const net::Network& input) {
-    return {flow_bdsmaj(input), flow_bdspga(input), flow_abc(input), flow_dc(input)};
+std::vector<SynthesisResult> run_all_flows(const net::Network& input, int jobs) {
+    return {flow_bdsmaj(input, jobs), flow_bdspga(input, jobs), flow_abc(input),
+            flow_dc(input)};
 }
 
 std::vector<std::vector<SynthesisResult>> run_suite(

@@ -29,21 +29,29 @@ struct SynthesisResult {
 /// The library shared by all flows (paper SV-B1).
 [[nodiscard]] const mapping::CellLibrary& default_library();
 
-[[nodiscard]] SynthesisResult flow_bdsmaj(const net::Network& input);
-[[nodiscard]] SynthesisResult flow_bdspga(const net::Network& input);
+/// The BDS flows take a worker budget for the supernode pipeline
+/// (DecompFlowParams::jobs semantics: 1 = serial, <= 0 = all hardware
+/// threads); the result does not depend on it. ABC and DC are serial.
+[[nodiscard]] SynthesisResult flow_bdsmaj(const net::Network& input, int jobs = 1);
+[[nodiscard]] SynthesisResult flow_bdspga(const net::Network& input, int jobs = 1);
 [[nodiscard]] SynthesisResult flow_abc(const net::Network& input);
 [[nodiscard]] SynthesisResult flow_dc(const net::Network& input);
 
-/// All four, in Table II column order.
-[[nodiscard]] std::vector<SynthesisResult> run_all_flows(const net::Network& input);
+/// All four, in Table II column order. `jobs` is the BDS flows' worker
+/// budget; the results are identical at any setting.
+[[nodiscard]] std::vector<SynthesisResult> run_all_flows(const net::Network& input,
+                                                         int jobs = 1);
 
 /// Batched suite synthesis: run_all_flows over every input, fanned out
-/// across `jobs` worker threads (1 = serial on the calling thread, <= 0 =
-/// all hardware threads). Entry i of the result is run_all_flows(inputs[i])
+/// across up to `jobs` runners on the shared process pool
+/// (runtime::global_pool(); 1 = serial on the calling thread, <= 0 = all
+/// hardware threads). Entry i of the result is run_all_flows(inputs[i])
 /// — networks are independent, so the outputs are identical at any job
 /// count; only wall-clock changes. This is what the Table I/II sweeps and
 /// the bench harness use to push whole benchmark suites through the
-/// pipeline concurrently.
+/// pipeline concurrently. For an admission-controlled asynchronous
+/// version returning futures, see flows::SynthesisService
+/// (flows/service.hpp).
 [[nodiscard]] std::vector<std::vector<SynthesisResult>> run_suite(
     const std::vector<net::Network>& inputs, int jobs = 1);
 

@@ -1,0 +1,210 @@
+#include "flows/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace bdsmaj::flows {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class FlowSel { kAll, kBdsMaj, kBdsPga, kAbc, kDc };
+
+FlowSel parse_flow(const std::string& name) {
+    if (name == "all") return FlowSel::kAll;
+    if (name == "bdsmaj") return FlowSel::kBdsMaj;
+    if (name == "bdspga") return FlowSel::kBdsPga;
+    if (name == "abc") return FlowSel::kAbc;
+    if (name == "dc") return FlowSel::kDc;
+    throw std::invalid_argument("SynthesisService: unknown flow \"" + name + "\"");
+}
+
+std::vector<SynthesisResult> run_flows_one(const net::Network& input, FlowSel sel,
+                                           int jobs) {
+    switch (sel) {
+        case FlowSel::kAll: return run_all_flows(input, jobs);
+        case FlowSel::kBdsMaj: return {flow_bdsmaj(input, jobs)};
+        case FlowSel::kBdsPga: return {flow_bdspga(input, jobs)};
+        case FlowSel::kAbc: return {flow_abc(input)};
+        case FlowSel::kDc: return {flow_dc(input)};
+    }
+    return {};
+}
+
+}  // namespace
+
+struct SynthesisService::Job {
+    JobId id = 0;
+    std::vector<net::Network> inputs;
+    SynthesisJobParams params;
+    std::promise<FlowResult> promise;
+};
+
+SynthesisService::SynthesisService(const ServiceParams& params)
+    : pool_(params.pool != nullptr ? *params.pool : runtime::global_pool()),
+      max_concurrent_(params.max_concurrent_jobs > 0 ? params.max_concurrent_jobs
+                                                     : pool_.size()),
+      paused_(params.start_paused) {}
+
+SynthesisService::~SynthesisService() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Cancel everything still queued, then wait for the running jobs —
+    // their pool tasks capture `this` and must not outlive it. The pool
+    // itself is untouched.
+    for (const std::shared_ptr<Job>& job : queue_) {
+        ++cancelled_;
+        job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {}, 0.0});
+    }
+    queue_.clear();
+    idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+SynthesisService::Submission SynthesisService::enqueue(
+    std::vector<net::Network> inputs, const SynthesisJobParams& params) {
+    auto job = std::make_shared<Job>();
+    job->inputs = std::move(inputs);
+    job->params = params;
+    Submission submission;
+    submission.result = job->promise.get_future();
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->id = ++next_id_;
+    submission.id = job->id;
+    queue_.push_back(std::move(job));
+    pump_locked();
+    return submission;
+}
+
+SynthesisService::Submission SynthesisService::submit(
+    net::Network input, const SynthesisJobParams& params) {
+    std::vector<net::Network> inputs;
+    inputs.push_back(std::move(input));
+    return enqueue(std::move(inputs), params);
+}
+
+SynthesisService::Submission SynthesisService::submit_suite(
+    std::vector<net::Network> inputs, const SynthesisJobParams& params) {
+    return enqueue(std::move(inputs), params);
+}
+
+void SynthesisService::pump_locked() {
+    while (!paused_ && running_ < max_concurrent_ && !queue_.empty()) {
+        std::shared_ptr<Job> job = queue_.front();
+        queue_.pop_front();
+        ++running_;
+        ++inflight_;
+        pool_.submit([this, job] { execute(job); });
+    }
+}
+
+void SynthesisService::execute(const std::shared_ptr<Job>& job) {
+    const auto start = Clock::now();
+    FlowResult out;
+    out.job_id = job->id;
+    out.status = JobStatus::kCompleted;
+    std::exception_ptr error;
+    long networks = 0;
+    long gates = 0;
+    double area = 0.0;
+    try {
+        const FlowSel sel = parse_flow(job->params.flow);
+        out.results.resize(job->inputs.size());
+        if (job->inputs.size() <= 1) {
+            // Single network: the whole budget goes to supernode-level
+            // parallelism inside the pipelined flow.
+            for (std::size_t i = 0; i < job->inputs.size(); ++i) {
+                out.results[i] = run_flows_one(job->inputs[i], sel, job->params.jobs);
+            }
+        } else {
+            // Suite: the budget fans out across circuits; each circuit
+            // runs its flows serially, exactly like flows::run_suite.
+            runtime::parallel_for(
+                job->inputs.size(), runtime::effective_jobs(job->params.jobs),
+                [&](std::size_t i, int /*worker*/) {
+                    out.results[i] = run_flows_one(job->inputs[i], sel, 1);
+                });
+        }
+        out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+        for (const std::vector<SynthesisResult>& per_input : out.results) {
+            for (const SynthesisResult& r : per_input) {
+                ++networks;
+                gates += r.mapped.gate_count;
+                area += r.mapped.area_um2;
+            }
+        }
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        // Counters update before the promise resolves, so a caller that
+        // observed the future ready sees the job in stats() too.
+        std::lock_guard<std::mutex> lock(mutex_);
+        --running_;
+        if (error) {
+            ++failed_;
+        } else {
+            ++completed_;
+            networks_synthesized_ += networks;
+            mapped_gates_ += gates;
+            mapped_area_um2_ += area;
+        }
+        pump_locked();
+        --inflight_;
+        idle_cv_.notify_all();
+    }
+    // Last action, outside the lock and without touching `this`: the
+    // service may be destroyed as soon as inflight_ hit zero.
+    if (error) {
+        job->promise.set_exception(error);
+    } else {
+        job->promise.set_value(std::move(out));
+    }
+}
+
+bool SynthesisService::cancel(JobId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((*it)->id != id) continue;
+        const std::shared_ptr<Job> job = *it;
+        queue_.erase(it);
+        ++cancelled_;
+        idle_cv_.notify_all();  // the queue may just have drained
+        job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {}, 0.0});
+        return true;
+    }
+    return false;
+}
+
+void SynthesisService::pause() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void SynthesisService::resume() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+    pump_locked();
+}
+
+void SynthesisService::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+ServiceStats SynthesisService::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats s;
+    s.queued = static_cast<int>(queue_.size());
+    s.running = running_;
+    s.completed = completed_;
+    s.cancelled = cancelled_;
+    s.failed = failed_;
+    s.networks_synthesized = networks_synthesized_;
+    s.mapped_gates = mapped_gates_;
+    s.mapped_area_um2 = mapped_area_um2_;
+    return s;
+}
+
+}  // namespace bdsmaj::flows

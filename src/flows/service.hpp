@@ -1,0 +1,154 @@
+#pragma once
+// SynthesisService: the asynchronous, admission-controlled front door to
+// the synthesis flows — the serving shape of the BDS-MAJ pipeline.
+//
+// Callers submit jobs (one network, or a whole benchmark suite) and get a
+// std::future<FlowResult> back immediately. Jobs wait in a FIFO queue; at
+// most `max_concurrent_jobs` run at once, each as one task on the shared
+// process pool (runtime::global_pool() unless a pool is injected). Inside
+// a job, the per-job `jobs` budget bounds how many pool runners the job
+// may occupy — supernode-level parallelism for single-network jobs,
+// circuit-level for suites — so one heavy job cannot starve the queue.
+//
+// Because every layer below (parallel_for, the pipelined tape replay) is
+// caller-participating, a job always makes progress on the pool thread
+// that runs it even when the pool is saturated: admission control is the
+// only queueing point, and there is no nested-parallelism deadlock.
+//
+// Results are byte-identical to serial runs: a job computes exactly
+// run_all_flows(input, jobs) (or the single requested flow), and those are
+// deterministic at any budget. tests/flows/service_test.cpp pins BLIF
+// text, gate counts, and simulation signatures against jobs=1 serial runs.
+//
+// Lifecycle: cancel(id) removes a still-queued job (its future yields
+// status kCancelled); running jobs are never interrupted. pause() holds
+// admission (queued jobs stay queued; running ones finish) and resume()
+// releases it — the drain/maintenance switch, also what makes cancellation
+// deterministic to test. The destructor cancels everything still queued
+// and waits for running jobs to finish; the shared pool is untouched and
+// immediately reusable.
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <vector>
+
+#include "flows/flows.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bdsmaj::flows {
+
+enum class JobStatus { kQueued, kRunning, kCompleted, kCancelled, kFailed };
+
+struct SynthesisJobParams {
+    /// Worker budget for this job on the shared pool: supernode-level for
+    /// a single-network job, circuit-level for a suite job. 1 = the job
+    /// runs serially on its pool task, <= 0 = all hardware threads. Never
+    /// changes the result.
+    int jobs = 1;
+    /// "all" (the four Table II flows), or one of "bdsmaj", "bdspga",
+    /// "abc", "dc". An unknown name fails the job; the error surfaces on
+    /// the future.
+    std::string flow = "all";
+};
+
+struct FlowResult {
+    std::uint64_t job_id = 0;
+    JobStatus status = JobStatus::kCompleted;  ///< kCompleted or kCancelled
+    /// Per input, the requested flows in Table II column order ("all") or
+    /// the single requested flow. Empty for cancelled jobs.
+    std::vector<std::vector<SynthesisResult>> results;
+    double seconds = 0.0;  ///< wall time of the job body (not queue wait)
+};
+
+struct ServiceStats {
+    int queued = 0;     ///< admitted to the FIFO, not yet running
+    int running = 0;
+    int completed = 0;
+    int cancelled = 0;
+    int failed = 0;
+    long networks_synthesized = 0;  ///< flow results across completed jobs
+    long mapped_gates = 0;          ///< aggregate over those results
+    double mapped_area_um2 = 0.0;
+};
+
+struct ServiceParams {
+    /// Jobs allowed to run concurrently; <= 0 means the pool thread count.
+    int max_concurrent_jobs = 0;
+    /// Pool to run on; nullptr = runtime::global_pool(). An injected pool
+    /// must outlive the service.
+    runtime::ThreadPool* pool = nullptr;
+    /// Start with admission held (see pause()).
+    bool start_paused = false;
+};
+
+class SynthesisService {
+public:
+    using JobId = std::uint64_t;
+
+    struct Submission {
+        JobId id = 0;
+        std::future<FlowResult> result;
+    };
+
+    explicit SynthesisService(const ServiceParams& params = {});
+    ~SynthesisService();
+    SynthesisService(const SynthesisService&) = delete;
+    SynthesisService& operator=(const SynthesisService&) = delete;
+
+    /// Queue one network. FIFO admission; the future is fulfilled when the
+    /// job completes (or is cancelled), or carries the job's exception.
+    [[nodiscard]] Submission submit(net::Network input,
+                                    const SynthesisJobParams& params = {});
+
+    /// Queue a whole suite as one job: entry i of FlowResult::results is
+    /// the flows of inputs[i], identical to a serial run over the suite.
+    [[nodiscard]] Submission submit_suite(std::vector<net::Network> inputs,
+                                          const SynthesisJobParams& params = {});
+
+    /// Remove a still-queued job; its future yields status kCancelled.
+    /// Returns false if the job is already running, finished, or unknown.
+    bool cancel(JobId id);
+
+    /// Hold admission: running jobs finish, queued jobs stay queued until
+    /// resume(). Idempotent.
+    void pause();
+    void resume();
+
+    /// Block until no job is queued or running. With admission paused this
+    /// waits until someone resumes.
+    void wait_idle();
+
+    [[nodiscard]] ServiceStats stats() const;
+
+private:
+    struct Job;
+
+    Submission enqueue(std::vector<net::Network> inputs,
+                       const SynthesisJobParams& params);
+    void pump_locked();
+    void execute(const std::shared_ptr<Job>& job);
+
+    runtime::ThreadPool& pool_;
+    const int max_concurrent_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_cv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    JobId next_id_ = 0;
+    int running_ = 0;
+    int inflight_ = 0;  ///< dispatched pool tasks still touching `this`
+    bool paused_ = false;
+    int completed_ = 0;
+    int cancelled_ = 0;
+    int failed_ = 0;
+    long networks_synthesized_ = 0;
+    long mapped_gates_ = 0;
+    double mapped_area_um2_ = 0.0;
+};
+
+}  // namespace bdsmaj::flows

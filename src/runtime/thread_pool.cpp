@@ -1,7 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
 
 namespace bdsmaj::runtime {
 
@@ -22,7 +21,8 @@ int effective_jobs(int requested) noexcept {
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, ShutdownPolicy policy)
+    : shutdown_policy_(policy) {
     const int n = std::max(threads, 1);
     workers_.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
@@ -32,10 +32,37 @@ ThreadPool::ThreadPool(int threads) {
     }
 }
 
+void ThreadPool::set_shutdown_policy(ShutdownPolicy policy) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    shutdown_policy_ = policy;
+}
+
 ThreadPool::~ThreadPool() {
+    ShutdownPolicy policy;
     {
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         stopping_ = true;
+        policy = shutdown_policy_;
+    }
+    if (policy == ShutdownPolicy::kAbandon) {
+        // Discard every queued-but-unstarted task. Pops are serialized by
+        // the per-worker mutex, so a task is either executed by a worker
+        // or discarded here — never both — and the count removed is
+        // exactly what pending_/queued_ still owe for those tasks.
+        std::size_t discarded = 0;
+        for (const std::unique_ptr<Worker>& w : workers_) {
+            std::deque<std::function<void()>> dropped;
+            {
+                std::lock_guard<std::mutex> lock(w->mutex);
+                dropped.swap(w->queue);
+            }
+            discarded += dropped.size();
+            // dropped destroys its tasks outside the worker mutex.
+        }
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        pending_ -= discarded;
+        queued_ -= discarded;
+        if (pending_ == 0) idle_cv_.notify_all();
     }
     work_cv_.notify_all();
     for (std::thread& t : threads_) t.join();
@@ -56,6 +83,12 @@ void ThreadPool::submit(std::function<void()> task) {
         ++pending_;
         ++queued_;
     }
+    // queued_/pending_ are published before the push on purpose: workers
+    // decrement them after a successful pop, so the increments must come
+    // first or the counters would transiently underflow (and wait_idle
+    // could return with a task in flight). The cost is a small window in
+    // which an idle worker can wake, find the deque still empty, and
+    // re-check — bounded by this push landing.
     {
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->queue.push_back(std::move(task));
@@ -119,35 +152,5 @@ void ThreadPool::wait_idle() {
 }
 
 int ThreadPool::worker_index() noexcept { return tl_worker_index; }
-
-int parallel_for_worker_count(std::size_t n, int jobs) noexcept {
-    if (jobs <= 1 || n <= 1) return 1;
-    return static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), n));
-}
-
-void parallel_for(std::size_t n, int jobs,
-                  const std::function<void(std::size_t, int)>& body) {
-    if (jobs <= 1 || n <= 1) {
-        for (std::size_t i = 0; i < n; ++i) body(i, 0);
-        return;
-    }
-    // A body exception must not unwind through a pool thread (that would
-    // std::terminate); capture the first one and rethrow to the caller.
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    ThreadPool pool(parallel_for_worker_count(n, jobs));
-    for (std::size_t i = 0; i < n; ++i) {
-        pool.submit([&body, &error_mutex, &first_error, i] {
-            try {
-                body(i, ThreadPool::worker_index());
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) first_error = std::current_exception();
-            }
-        });
-    }
-    pool.wait_idle();
-    if (first_error) std::rethrow_exception(first_error);
-}
 
 }  // namespace bdsmaj::runtime

@@ -12,6 +12,10 @@
 // that need reproducible output must make tasks independent and merge
 // results in a fixed order (the flow layer's tape replay does exactly
 // that). Nothing in this file depends on timing for correctness.
+//
+// This header is the pool *primitive* only. The process-wide shared pool
+// (`runtime::global_pool()`) and the data-parallel primitives built on it
+// (`parallel_for`, `HelperSet`) live in runtime/scheduler.hpp.
 
 #include <condition_variable>
 #include <cstddef>
@@ -28,13 +32,31 @@ namespace bdsmaj::runtime {
 /// hardware threads" (at least 1).
 [[nodiscard]] int effective_jobs(int requested) noexcept;
 
+/// What the destructor does with tasks that are submitted but not yet
+/// started. Running tasks always finish either way — a task is never
+/// interrupted mid-execution.
+enum class ShutdownPolicy {
+    /// Workers drain every queued task before exiting (default). Matches
+    /// wait_idle-then-destroy semantics even when the caller forgot the
+    /// wait_idle.
+    kDrain,
+    /// Queued-but-unstarted tasks are discarded; workers exit as soon as
+    /// their current task finishes. For service-style owners that cancel
+    /// pending work on shutdown instead of paying for it.
+    kAbandon,
+};
+
 class ThreadPool {
 public:
     /// Spawns `threads` workers (clamped to at least 1).
-    explicit ThreadPool(int threads);
+    explicit ThreadPool(int threads, ShutdownPolicy policy = ShutdownPolicy::kDrain);
     ~ThreadPool();
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Change the destructor's drain-vs-abandon policy. Safe to call any
+    /// time before destruction begins.
+    void set_shutdown_policy(ShutdownPolicy policy);
 
     [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
 
@@ -69,21 +91,7 @@ private:
     std::size_t queued_ = 0;            // submitted but not yet started
     std::size_t next_worker_ = 0;       // round-robin submission cursor
     bool stopping_ = false;
+    ShutdownPolicy shutdown_policy_ = ShutdownPolicy::kDrain;
 };
-
-/// Number of workers parallel_for will use for (n, jobs): the thread
-/// count of the pool it spins up, or 1 for the inline path. Callers
-/// sizing per-worker scratch must use this, not re-derive the clamp.
-[[nodiscard]] int parallel_for_worker_count(std::size_t n, int jobs) noexcept;
-
-/// Run `body(i, worker)` for every i in [0, n) across parallel_for_
-/// worker_count(n, jobs) workers; `worker` is a stable index below that
-/// count, for per-worker scratch. jobs <= 1 (after effective_jobs
-/// resolution the caller did, if any) or n <= 1 runs inline on the
-/// calling thread with worker 0. An exception thrown by `body` is
-/// captured and rethrown on the calling thread after every index has
-/// been attempted (first one wins); it does not kill the pool.
-void parallel_for(std::size_t n, int jobs,
-                  const std::function<void(std::size_t, int)>& body);
 
 }  // namespace bdsmaj::runtime

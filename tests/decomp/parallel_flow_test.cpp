@@ -84,6 +84,24 @@ TEST(ParallelFlow, McncSuiteIsDeterministicAcrossJobCounts) {
     }
 }
 
+TEST(ParallelFlow, TightReplayWindowIsStillByteIdentical) {
+    // The pipelined replay bounds decomposed-but-unreplayed tapes with a
+    // window; even the tightest window (1) — which forces maximal
+    // blocking between decomposers and the replayer — must not change a
+    // byte of the output.
+    const Network input = benchgen::benchmark_by_name("C6288", /*quick=*/true);
+    const Fingerprint serial = fingerprint_at(input, 1, true);
+    for (const int window : {1, 3}) {
+        DecompFlowParams params;
+        params.jobs = 8;
+        params.replay_window = window;
+        const DecompFlowResult r = decompose_network(input, params);
+        const net::NetworkStats s = r.network.stats();
+        EXPECT_EQ(serial.total_gates, s.total()) << "window " << window;
+        ASSERT_EQ(serial.blif, net::write_blif(r.network)) << "window " << window;
+    }
+}
+
 TEST(ParallelFlow, BdsPgaModeIsDeterministicToo) {
     const Network input = benchgen::benchmark_by_name("C1355", /*quick=*/true);
     const Fingerprint serial = fingerprint_at(input, 1, false);

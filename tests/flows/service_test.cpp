@@ -1,0 +1,264 @@
+// SynthesisService: concurrent submissions must be byte-identical to
+// serial jobs=1 runs (BLIF text, gate counts, simulation signatures — the
+// ISSUE acceptance contract), cancellation must leave the service and the
+// shared pool reusable, and the stats counters must stay consistent.
+
+#include "flows/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "benchgen/suite.hpp"
+#include "network/blif.hpp"
+#include "network/simulate.hpp"
+
+namespace bdsmaj::flows {
+namespace {
+
+using net::Network;
+
+/// 64-bit FNV-1a over deterministic bit-parallel simulation rounds — the
+/// same functional signature parallel_flow_test uses.
+std::uint64_t simulation_signature(const Network& net) {
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const auto mix = [&hash](std::uint64_t w) {
+        for (int b = 0; b < 8; ++b) {
+            hash ^= (w >> (8 * b)) & 0xff;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    std::uint64_t state = 0x5eed5eed5eed5eedull;
+    const auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int round = 0; round < 4; ++round) {
+        std::vector<std::uint64_t> pi(net.inputs().size());
+        for (auto& w : pi) w = next();
+        for (const std::uint64_t w : net::simulate_words(net, pi)) mix(w);
+    }
+    return hash;
+}
+
+std::vector<Network> mcnc_inputs(std::size_t max_count) {
+    std::vector<Network> inputs;
+    for (const benchgen::BenchmarkCase& bc : benchgen::table_suite(/*quick=*/true)) {
+        if (!bc.is_mcnc) continue;
+        inputs.push_back(bc.network);
+        if (inputs.size() >= max_count) break;
+    }
+    return inputs;
+}
+
+void expect_same_results(const std::vector<SynthesisResult>& serial,
+                         const std::vector<SynthesisResult>& service,
+                         const std::string& what) {
+    ASSERT_EQ(serial.size(), service.size()) << what;
+    for (std::size_t f = 0; f < serial.size(); ++f) {
+        const SynthesisResult& a = serial[f];
+        const SynthesisResult& b = service[f];
+        EXPECT_EQ(a.flow_name, b.flow_name) << what;
+        EXPECT_EQ(a.optimized_stats.total(), b.optimized_stats.total())
+            << what << " " << a.flow_name;
+        EXPECT_EQ(a.mapped.gate_count, b.mapped.gate_count) << what << " "
+                                                            << a.flow_name;
+        EXPECT_EQ(simulation_signature(a.optimized), simulation_signature(b.optimized))
+            << what << " " << a.flow_name;
+        ASSERT_EQ(net::write_blif(a.optimized), net::write_blif(b.optimized))
+            << what << " " << a.flow_name << ": BLIF drifted";
+    }
+}
+
+TEST(SynthesisService, SingleJobMatchesDirectRun) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    const std::vector<SynthesisResult> serial = run_all_flows(input, 1);
+
+    SynthesisService service;
+    SynthesisJobParams jp;
+    jp.jobs = 4;  // budget must not change the result
+    SynthesisService::Submission sub = service.submit(input, jp);
+    const FlowResult r = sub.result.get();
+    EXPECT_EQ(r.job_id, sub.id);
+    EXPECT_EQ(r.status, JobStatus::kCompleted);
+    ASSERT_EQ(r.results.size(), 1u);
+    expect_same_results(serial, r.results[0], "f51m");
+}
+
+TEST(SynthesisService, ConcurrentMcncSubmitsMatchSerialRuns) {
+    // The ISSUE acceptance criterion: N concurrent submit()s of MCNC
+    // circuits produce BLIF output, gate counts, and simulation
+    // signatures byte-identical to jobs=1 serial runs. A private 4-thread
+    // pool guarantees real concurrency even on a 1-core machine.
+    const std::vector<Network> inputs = mcnc_inputs(6);
+    std::vector<std::vector<SynthesisResult>> serial;
+    serial.reserve(inputs.size());
+    for (const Network& input : inputs) serial.push_back(run_all_flows(input, 1));
+
+    runtime::ThreadPool pool(4);
+    ServiceParams sp;
+    sp.pool = &pool;
+    sp.max_concurrent_jobs = 4;
+    SynthesisService service(sp);
+    SynthesisJobParams jp;
+    jp.jobs = 2;
+    std::vector<SynthesisService::Submission> subs;
+    subs.reserve(inputs.size());
+    for (const Network& input : inputs) subs.push_back(service.submit(input, jp));
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+        const FlowResult r = subs[i].result.get();
+        EXPECT_EQ(r.status, JobStatus::kCompleted);
+        ASSERT_EQ(r.results.size(), 1u);
+        expect_same_results(serial[i], r.results[0], "mcnc[" + std::to_string(i) + "]");
+    }
+    const ServiceStats st = service.stats();
+    EXPECT_EQ(st.completed, static_cast<int>(inputs.size()));
+    EXPECT_EQ(st.queued, 0);
+    EXPECT_EQ(st.running, 0);
+    EXPECT_EQ(st.failed, 0);
+    EXPECT_EQ(st.networks_synthesized,
+              static_cast<long>(inputs.size()) * 4);  // four flows per job
+}
+
+TEST(SynthesisService, SuiteJobMatchesRunSuite) {
+    const std::vector<Network> inputs = mcnc_inputs(4);
+    const std::vector<std::vector<SynthesisResult>> serial = run_suite(inputs, 1);
+
+    SynthesisService service;
+    SynthesisJobParams jp;
+    jp.jobs = 3;
+    SynthesisService::Submission sub = service.submit_suite(inputs, jp);
+    const FlowResult r = sub.result.get();
+    EXPECT_EQ(r.status, JobStatus::kCompleted);
+    ASSERT_EQ(r.results.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        expect_same_results(serial[i], r.results[i],
+                            "suite[" + std::to_string(i) + "]");
+    }
+}
+
+TEST(SynthesisService, SingleFlowJobsWork) {
+    const Network input = benchgen::benchmark_by_name("C1355", /*quick=*/true);
+    SynthesisService service;
+    for (const char* flow : {"bdsmaj", "bdspga", "abc", "dc"}) {
+        SynthesisJobParams jp;
+        jp.flow = flow;
+        SynthesisService::Submission sub = service.submit(input, jp);
+        const FlowResult r = sub.result.get();
+        ASSERT_EQ(r.results.size(), 1u) << flow;
+        ASSERT_EQ(r.results[0].size(), 1u) << flow;
+        EXPECT_GT(r.results[0][0].mapped.gate_count, 0) << flow;
+    }
+}
+
+TEST(SynthesisService, PerJobBudgetNeverChangesTheResult) {
+    const Network input = benchgen::benchmark_by_name("dalu", /*quick=*/true);
+    std::string reference;
+    for (const int budget : {1, 2, 8}) {
+        SynthesisService service;
+        SynthesisJobParams jp;
+        jp.jobs = budget;
+        jp.flow = "bdsmaj";
+        SynthesisService::Submission sub = service.submit(input, jp);
+        const FlowResult r = sub.result.get();
+        const std::string blif = net::write_blif(r.results.at(0).at(0).optimized);
+        if (reference.empty()) {
+            reference = blif;
+        } else {
+            ASSERT_EQ(reference, blif) << "budget " << budget << " drifted";
+        }
+    }
+}
+
+TEST(SynthesisService, CancellationLeavesServiceAndPoolReusable) {
+    const std::vector<Network> inputs = mcnc_inputs(3);
+    ServiceParams sp;
+    sp.max_concurrent_jobs = 1;
+    sp.start_paused = true;  // hold admission so cancellation is deterministic
+    SynthesisService service(sp);
+
+    SynthesisJobParams jp;
+    std::vector<SynthesisService::Submission> subs;
+    for (const Network& input : inputs) subs.push_back(service.submit(input, jp));
+    {
+        const ServiceStats st = service.stats();
+        EXPECT_EQ(st.queued, 3);
+        EXPECT_EQ(st.running, 0);
+    }
+    EXPECT_TRUE(service.cancel(subs[1].id));
+    EXPECT_FALSE(service.cancel(subs[1].id)) << "double-cancel must fail";
+    EXPECT_TRUE(service.cancel(subs[2].id));
+    EXPECT_FALSE(service.cancel(9999)) << "unknown id";
+
+    const FlowResult r1 = subs[1].result.get();
+    EXPECT_EQ(r1.status, JobStatus::kCancelled);
+    EXPECT_TRUE(r1.results.empty());
+
+    service.resume();
+    const FlowResult r0 = subs[0].result.get();
+    EXPECT_EQ(r0.status, JobStatus::kCompleted);
+    EXPECT_FALSE(service.cancel(subs[0].id)) << "finished jobs cannot be cancelled";
+
+    // The service (and the shared pool underneath) must be fully reusable.
+    SynthesisService::Submission again = service.submit(inputs[2], jp);
+    EXPECT_EQ(again.result.get().status, JobStatus::kCompleted);
+    service.wait_idle();
+    const ServiceStats st = service.stats();
+    EXPECT_EQ(st.completed, 2);
+    EXPECT_EQ(st.cancelled, 2);
+    EXPECT_EQ(st.failed, 0);
+    EXPECT_EQ(st.queued, 0);
+    EXPECT_EQ(st.running, 0);
+}
+
+TEST(SynthesisService, DestructorCancelsQueuedJobs) {
+    const Network input = benchgen::benchmark_by_name("C1355", /*quick=*/true);
+    std::future<FlowResult> orphan;
+    {
+        ServiceParams sp;
+        sp.start_paused = true;
+        SynthesisService service(sp);
+        SynthesisService::Submission sub = service.submit(input, {});
+        orphan = std::move(sub.result);
+    }
+    EXPECT_EQ(orphan.get().status, JobStatus::kCancelled);
+}
+
+TEST(SynthesisService, UnknownFlowFailsTheJobViaTheFuture) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    SynthesisService service;
+    SynthesisJobParams jp;
+    jp.flow = "nosuchflow";
+    SynthesisService::Submission sub = service.submit(input, jp);
+    EXPECT_THROW(sub.result.get(), std::invalid_argument);
+    service.wait_idle();
+    const ServiceStats st = service.stats();
+    EXPECT_EQ(st.failed, 1);
+    EXPECT_EQ(st.completed, 0);
+    // The failure must not poison the service.
+    SynthesisService::Submission ok = service.submit(input, {});
+    EXPECT_EQ(ok.result.get().status, JobStatus::kCompleted);
+}
+
+TEST(SynthesisService, StatsAggregateGateCounts) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    const std::vector<SynthesisResult> serial = run_all_flows(input, 1);
+    long expected_gates = 0;
+    for (const SynthesisResult& r : serial) expected_gates += r.mapped.gate_count;
+
+    SynthesisService service;
+    SynthesisService::Submission sub = service.submit(input, {});
+    (void)sub.result.get();
+    const ServiceStats st = service.stats();
+    EXPECT_EQ(st.networks_synthesized, 4);
+    EXPECT_EQ(st.mapped_gates, expected_gates);
+    EXPECT_GT(st.mapped_area_um2, 0.0);
+}
+
+}  // namespace
+}  // namespace bdsmaj::flows

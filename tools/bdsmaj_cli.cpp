@@ -9,24 +9,44 @@
 //   --no-reorder                  skip per-supernode sifting
 //   --k-local F / --k-global F    majority selection sizing factors
 //   --iterations N                balancing iteration limit
-//   --jobs N                      supernode worker threads (0 = all cores);
+//   --jobs N                      per-run worker budget (0 = all cores);
 //                                 output is identical at any setting
 //   --quick                       reduced widths for @benchmarks
 //   --verify                      equivalence-check outputs (default on)
 //   --quiet                       only print the summary line
 //
+// Batch service mode (multiple inputs through flows::SynthesisService on
+// the shared process pool):
+//   --batch                       treat every positional arg as an input;
+//                                 submit each as one async service job and
+//                                 print results in submission order (also
+//                                 implied by giving more than one input).
+//                                 --flow additionally accepts "all" here
+//                                 (all four Table II flows per input); the
+//                                 engine tuning flags above are rejected —
+//                                 the service runs the default engine
+//   --pool N                      shared-pool thread count (otherwise the
+//                                 BDSMAJ_JOBS env var / all cores)
+//   --max-jobs N                  jobs admitted concurrently (default:
+//                                 pool size); --jobs is each job's budget
+//
 // `@name` uses a built-in generator from the paper's suite, e.g.
-// `bdsmaj_cli @C6288` or `bdsmaj_cli "@Div 18 bit"`.
+// `bdsmaj_cli @C6288` or `bdsmaj_cli "@Div 18 bit"`, and batch mode mixes
+// them freely with BLIF files: `bdsmaj_cli --batch @C1355 @C6288 my.blif`.
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "benchgen/suite.hpp"
 #include "flows/flows.hpp"
+#include "flows/service.hpp"
 #include "network/blif.hpp"
 #include "network/simulate.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace {
 
@@ -34,14 +54,21 @@ using namespace bdsmaj;
 
 struct Options {
     std::string flow = "bdsmaj";
-    std::string input;
+    std::vector<std::string> inputs;
     std::optional<std::string> out;
     std::optional<std::string> map_out;
     bool reorder = true;
     bool quick = false;
     bool verify = true;
     bool quiet = false;
+    bool batch = false;
+    /// True when an engine tuning flag (--no-reorder, --k-local,
+    /// --k-global, --iterations) was given; the batch service path does
+    /// not carry these, so it must reject rather than silently drop them.
+    bool tuned = false;
     int jobs = 1;
+    int pool = 0;
+    int max_jobs = 0;
     decomp::MajDecompParams maj;
 };
 
@@ -51,8 +78,114 @@ int usage() {
                  "                  [--map-out f.blif] [--no-maj] [--no-reorder]\n"
                  "                  [--k-local F] [--k-global F] [--iterations N]\n"
                  "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
-                 "                  <input.blif | @benchmark>\n");
+                 "                  [--batch] [--pool N] [--max-jobs N]\n"
+                 "                  <input.blif | @benchmark> [more inputs in batch mode]\n");
     return 2;
+}
+
+net::Network load_input(const std::string& name, bool quick) {
+    if (!name.empty() && name[0] == '@') {
+        return benchgen::benchmark_by_name(name.substr(1), quick);
+    }
+    return net::read_blif_file(name);
+}
+
+void print_result(const net::Network& input, const flows::SynthesisResult& result,
+                  double seconds, bool verify, bool equivalent, bool quiet) {
+    if (!quiet) {
+        const net::NetworkStats s = result.optimized_stats;
+        std::printf("flow %s on %s\n", result.flow_name.c_str(),
+                    input.model_name().c_str());
+        std::printf("  decomposed: AND=%d OR=%d XOR=%d XNOR=%d MAJ=%d total=%d\n",
+                    s.and_nodes, s.or_nodes, s.xor_nodes, s.xnor_nodes, s.maj_nodes,
+                    s.total());
+    }
+    std::printf("%s: area=%.2fum2 gates=%d delay=%.3fns opt_time=%.3fs%s\n",
+                input.model_name().c_str(), result.mapped.area_um2,
+                result.mapped.gate_count, result.mapped.delay_ns, seconds,
+                verify ? (equivalent ? " [verified]" : " [MISMATCH]") : "");
+}
+
+bool verify_result(const net::Network& input, const flows::SynthesisResult& result) {
+    const auto eq1 = net::check_equivalent(input, result.optimized);
+    const auto eq2 = net::check_equivalent(input, result.mapped.netlist);
+    if (!eq1.equivalent || !eq2.equivalent) {
+        std::fprintf(stderr, "VERIFICATION FAILED: %s %s\n", eq1.reason.c_str(),
+                     eq2.reason.c_str());
+        return false;
+    }
+    return true;
+}
+
+/// Batch service mode: every input becomes one async job on the shared
+/// scheduler; results print in submission order regardless of completion
+/// order, so the output is stable.
+int run_batch(const Options& opt) {
+    if (opt.out || opt.map_out) {
+        std::fprintf(stderr, "--out/--map-out are per-input; not available in "
+                             "batch mode\n");
+        return 2;
+    }
+    if (opt.tuned) {
+        std::fprintf(stderr,
+                     "--no-reorder/--k-local/--k-global/--iterations are not "
+                     "supported in batch mode (the service runs the default "
+                     "engine configuration); run inputs individually to tune\n");
+        return 2;
+    }
+    if (opt.pool > 0) runtime::configure_global_pool(opt.pool);
+
+    std::vector<net::Network> inputs;
+    inputs.reserve(opt.inputs.size());
+    for (const std::string& name : opt.inputs) {
+        try {
+            inputs.push_back(load_input(name, opt.quick));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error reading %s: %s\n", name.c_str(), e.what());
+            return 1;
+        }
+    }
+
+    flows::ServiceParams sp;
+    sp.max_concurrent_jobs = opt.max_jobs;
+    flows::SynthesisService service(sp);
+    flows::SynthesisJobParams jp;
+    jp.jobs = opt.jobs;
+    jp.flow = opt.flow;
+
+    std::vector<flows::SynthesisService::Submission> submissions;
+    submissions.reserve(inputs.size());
+    for (const net::Network& input : inputs) {
+        submissions.push_back(service.submit(input, jp));  // keep the original
+    }
+
+    bool all_ok = true;
+    for (std::size_t i = 0; i < submissions.size(); ++i) {
+        try {
+            const flows::FlowResult r = submissions[i].result.get();
+            // One entry for a named flow, four for --flow all: print and
+            // verify every flow the job ran.
+            for (const flows::SynthesisResult& sr : r.results.at(0)) {
+                bool equivalent = true;
+                if (opt.verify) {
+                    equivalent = verify_result(inputs[i], sr);
+                    all_ok = all_ok && equivalent;
+                }
+                print_result(inputs[i], sr, r.seconds, opt.verify, equivalent,
+                             opt.quiet);
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "job %s failed: %s\n", opt.inputs[i].c_str(),
+                         e.what());
+            all_ok = false;
+        }
+    }
+    const flows::ServiceStats st = service.stats();
+    std::printf("service: %d completed, %d failed, %ld networks, "
+                "%ld mapped gates, pool=%d threads\n",
+                st.completed, st.failed, st.networks_synthesized, st.mapped_gates,
+                runtime::global_pool_threads());
+    return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -80,22 +213,36 @@ int main(int argc, char** argv) {
             opt.flow = "bdspga";
         } else if (arg == "--no-reorder") {
             opt.reorder = false;
+            opt.tuned = true;
         } else if (arg == "--k-local") {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.maj.k_local = std::atof(v);
+            opt.tuned = true;
         } else if (arg == "--k-global") {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.maj.k_global = std::atof(v);
+            opt.tuned = true;
         } else if (arg == "--iterations") {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.maj.max_iterations = std::atoi(v);
+            opt.tuned = true;
         } else if (arg == "--jobs") {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.jobs = std::atoi(v);
+        } else if (arg == "--pool") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.pool = std::atoi(v);
+        } else if (arg == "--max-jobs") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.max_jobs = std::atoi(v);
+        } else if (arg == "--batch") {
+            opt.batch = true;
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--no-verify") {
@@ -106,18 +253,16 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return usage();
         } else {
-            opt.input = arg;
+            opt.inputs.push_back(arg);
         }
     }
-    if (opt.input.empty()) return usage();
+    if (opt.inputs.empty()) return usage();
+    if (opt.batch || opt.inputs.size() > 1) return run_batch(opt);
 
+    if (opt.pool > 0) runtime::configure_global_pool(opt.pool);
     net::Network input;
     try {
-        if (opt.input[0] == '@') {
-            input = benchgen::benchmark_by_name(opt.input.substr(1), opt.quick);
-        } else {
-            input = net::read_blif_file(opt.input);
-        }
+        input = load_input(opt.inputs[0], opt.quick);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error reading input: %s\n", e.what());
         return 1;
@@ -147,29 +292,9 @@ int main(int argc, char** argv) {
     }
 
     bool equivalent = true;
-    if (opt.verify) {
-        const auto eq1 = net::check_equivalent(input, result.optimized);
-        const auto eq2 = net::check_equivalent(input, result.mapped.netlist);
-        equivalent = eq1.equivalent && eq2.equivalent;
-        if (!equivalent) {
-            std::fprintf(stderr, "VERIFICATION FAILED: %s %s\n", eq1.reason.c_str(),
-                         eq2.reason.c_str());
-        }
-    }
-
-    if (!opt.quiet) {
-        const net::NetworkStats s = result.optimized_stats;
-        std::printf("flow %s on %s\n", result.flow_name.c_str(),
-                    input.model_name().c_str());
-        std::printf("  decomposed: AND=%d OR=%d XOR=%d XNOR=%d MAJ=%d total=%d\n",
-                    s.and_nodes, s.or_nodes, s.xor_nodes, s.xnor_nodes, s.maj_nodes,
-                    s.total());
-    }
-    std::printf("%s: area=%.2fum2 gates=%d delay=%.3fns opt_time=%.3fs%s\n",
-                input.model_name().c_str(), result.mapped.area_um2,
-                result.mapped.gate_count, result.mapped.delay_ns,
-                result.optimize_seconds,
-                opt.verify ? (equivalent ? " [verified]" : " [MISMATCH]") : "");
+    if (opt.verify) equivalent = verify_result(input, result);
+    print_result(input, result, result.optimize_seconds, opt.verify, equivalent,
+                 opt.quiet);
 
     if (opt.out) net::write_blif_file(result.optimized, *opt.out);
     if (opt.map_out) net::write_blif_file(result.mapped.netlist, *opt.map_out);

@@ -16,19 +16,28 @@
 #                                      # where absolute times measured on
 #                                      # the authoring machine are
 #                                      # meaningless
+#   BDSMAJ_CI_JOBS=4 ...               # build/test parallelism (default:
+#                                      # nproc); matrix runners set this
+#   BDSMAJ_CI_BUILD_TYPE=Debug ...     # CMAKE_BUILD_TYPE (default Release)
+#   BDSMAJ_CI_CMAKE_ARGS="..." ...     # extra configure args, word-split
+#                                      # (compiler/launcher/sanitizer picks)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 REPO="$PWD"
 TOLERANCE="${BDSMAJ_CI_TOLERANCE:-20}"
 BENCH_MODE="${BDSMAJ_CI_BENCH_MODE:-full}"
+JOBS="${BDSMAJ_CI_JOBS:-$(nproc)}"
+BUILD_TYPE="${BDSMAJ_CI_BUILD_TYPE:-Release}"
+read -r -a EXTRA_CMAKE_ARGS <<< "${BDSMAJ_CI_CMAKE_ARGS:-}"
 
-echo "==> tier-1: configure + build"
-cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)"
+echo "==> tier-1: configure + build (${BUILD_TYPE}, -j${JOBS})"
+cmake -B build -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      ${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"} >/dev/null
+cmake --build build -j"$JOBS"
 
 echo "==> tier-1: ctest"
-(cd build && ctest --output-on-failure -j"$(nproc)")
+(cd build && ctest --output-on-failure -j"$JOBS")
 
 if [[ "${BDSMAJ_CI_SKIP_BENCH:-0}" != "0" ]]; then
     echo "==> bench gate skipped (BDSMAJ_CI_SKIP_BENCH)"
@@ -89,6 +98,17 @@ if scaling is None:
 elif not scaling["fingerprints_identical"]:
     failures.append("thread_scaling: output fingerprints drift across job "
                     f"counts:\n  levels {scaling['levels']}")
+
+# Async service determinism: concurrent SynthesisService jobs must produce
+# the same aggregate fingerprint as the serial table2 sweep, and every
+# submitted job must complete.
+service = fresh.get("service_throughput")
+if service is None:
+    failures.append("service_throughput: section missing from fresh bench run")
+elif not service["matches_serial"]:
+    failures.append("service_throughput: concurrent service results drifted "
+                    f"from the serial run: {service['fingerprint']} "
+                    f"({service['completed']}/{service['jobs']} completed)")
 if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"]:
     failures.append("table2_synthesis: equivalence verification failed")
 if fresh["ablation_mdom"]["equivalent"] != fresh["ablation_mdom"]["runs"]:
