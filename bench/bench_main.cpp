@@ -21,6 +21,13 @@
 //                  flows::SynthesisService on the shared process pool;
 //                  the aggregate fingerprint must equal the serial
 //                  table2 run's (tools/ci.sh fails if it does not).
+//   * presets    — every decomposition strategy preset over the MCNC
+//                  circuits: decomposed/mapped gates, area, runtime, and
+//                  an engine-step fingerprint per preset. tools/ci.sh
+//                  fails on any `paper` fingerprint drift (the preset is
+//                  contractually byte-identical to the published ladder)
+//                  and if `exact-aggressive` stops strictly beating
+//                  `paper` on mapped gates.
 //
 // Fingerprints (gate counts, EngineStats) are recorded alongside the wall
 // times so that perf work can be checked to leave synthesis results
@@ -47,8 +54,10 @@
 #include "mdom_sweep.hpp"
 #include "benchgen/suite.hpp"
 #include "decomp/flow.hpp"
+#include "decomp/strategy.hpp"
 #include "flows/flows.hpp"
 #include "flows/service.hpp"
+#include "mapping/mapper.hpp"
 #include "network/simulate.hpp"
 #include "runtime/scheduler.hpp"
 #include "tt/truth_table.hpp"
@@ -395,6 +404,61 @@ ServiceBenchResult bench_service(bool smoke, const Table2Result& t2) {
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Preset sweep: every strategy preset over the MCNC circuits.
+// ---------------------------------------------------------------------------
+
+struct PresetEntry {
+    std::string preset;
+    double seconds = 0;           ///< decomposition sweep only (timed)
+    int circuits = 0;
+    int equivalent = 0;           ///< untimed oracle sign-off
+    long decomposed_gates = 0;
+    long mapped_gates = 0;
+    double mapped_area = 0;
+    decomp::EngineStats stats;
+};
+
+std::vector<PresetEntry> bench_preset_sweep() {
+    // All ten MCNC circuits even in smoke mode: the whole sweep takes
+    // under a second, and the exact-aggressive-beats-paper gate is a
+    // suite-level property (a 4-circuit subset flips it).
+    std::vector<net::Network> inputs;
+    for (const benchgen::BenchmarkCase& bc : benchgen::table_suite(/*quick=*/true)) {
+        if (!bc.is_mcnc) continue;
+        inputs.push_back(bc.network);
+    }
+    std::vector<PresetEntry> out;
+    for (const decomp::PresetInfo& p : decomp::preset_catalog()) {
+        PresetEntry entry;
+        entry.preset = p.name;
+        entry.circuits = static_cast<int>(inputs.size());
+        std::vector<net::Network> results;
+        const auto start = Clock::now();
+        for (const net::Network& input : inputs) {
+            decomp::DecompFlowParams params;
+            params.engine.preset = p.name;
+            decomp::DecompFlowResult r = decomp::decompose_network(input, params);
+            entry.decomposed_gates += r.network.stats().total();
+            entry.stats += r.engine_stats;
+            results.push_back(std::move(r.network));
+        }
+        entry.seconds = seconds_since(start);
+        // Mapping and the equivalence oracle run untimed, as sign-off.
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const mapping::MappedResult mapped =
+                mapping::map_network(results[i], flows::default_library());
+            entry.mapped_gates += mapped.gate_count;
+            entry.mapped_area += mapped.area_um2;
+            if (net::check_equivalent(inputs[i], results[i]).equivalent) {
+                ++entry.equivalent;
+            }
+        }
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -444,6 +508,14 @@ int main(int argc, char** argv) {
                 sv.jobs, sv.seconds, sv.pool_threads,
                 sv.matches_serial ? "matches serial" : "DRIFTED");
 
+    std::printf("bench_core: preset sweep (MCNC suite)...\n");
+    const std::vector<PresetEntry> presets = bench_preset_sweep();
+    for (const PresetEntry& p : presets) {
+        std::printf("  %-18s %.2f s, decomposed %ld, mapped %ld, eq %d/%d\n",
+                    p.preset.c_str(), p.seconds, p.decomposed_gates,
+                    p.mapped_gates, p.equivalent, p.circuits);
+    }
+
     const bdd::CacheStats cs = [] {
         bdd::Manager mgr(10);
         std::mt19937_64 rng(7);
@@ -460,7 +532,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v3\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v5\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"ops_per_sec\": {\n");
     std::fprintf(f, "    \"ite\": %.1f,\n", ops.ite_ops_per_sec);
@@ -531,6 +603,32 @@ int main(int argc, char** argv) {
     std::fprintf(f, "      \"dc_gates\": %ld\n", sv.fp.dc_gates);
     std::fprintf(f, "    },\n");
     std::fprintf(f, "    \"matches_serial\": %s\n", sv.matches_serial ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"preset_sweep\": {\n");
+    std::fprintf(f, "    \"circuits\": %d,\n",
+                 presets.empty() ? 0 : presets[0].circuits);
+    std::fprintf(f, "    \"entries\": [\n");
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const PresetEntry& p = presets[i];
+        // npn hits/misses are recorded for telemetry but are NOT part of
+        // the fingerprint: they depend on what earlier sections already
+        // enumerated into the process-wide cache.
+        std::fprintf(f,
+                     "      {\"preset\": \"%s\", \"seconds\": %.3f, "
+                     "\"equivalent\": %d, \"fingerprint\": "
+                     "{\"decomposed_gates\": %ld, \"mapped_gates\": %ld, "
+                     "\"mapped_area\": %.4f, \"engine_steps\": "
+                     "[%d, %d, %d, %d, %d, %d, %d, %d]}, "
+                     "\"npn_hits\": %lld, \"npn_misses\": %lld}%s\n",
+                     p.preset.c_str(), p.seconds, p.equivalent,
+                     p.decomposed_gates, p.mapped_gates, p.mapped_area,
+                     p.stats.and_steps, p.stats.or_steps, p.stats.xor_steps,
+                     p.stats.maj_steps, p.stats.mux_steps, p.stats.exact_steps,
+                     p.stats.gen_xor_steps, p.stats.literal_leaves,
+                     p.stats.npn_cache_hits, p.stats.npn_cache_misses,
+                     i + 1 < presets.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"cache\": {\n");
     std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(cs.hits));

@@ -5,7 +5,6 @@
 #include <optional>
 
 #include "decomp/dominators.hpp"
-#include "decomp/xor_decomp.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -23,15 +22,45 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     xor_steps += o.xor_steps;
     maj_steps += o.maj_steps;
     mux_steps += o.mux_steps;
+    exact_steps += o.exact_steps;
+    gen_xor_steps += o.gen_xor_steps;
     maj_attempts += o.maj_attempts;
     maj_rejected += o.maj_rejected;
     literal_leaves += o.literal_leaves;
+    npn_cache_hits += o.npn_cache_hits;
+    npn_cache_misses += o.npn_cache_misses;
     return *this;
+}
+
+int EngineStats::steps_for(StrategyKind kind) const noexcept {
+    switch (kind) {
+        case StrategyKind::kExactSmallCone: return exact_steps;
+        case StrategyKind::kMajority: return maj_steps;
+        case StrategyKind::kSimpleDominator:
+            return and_steps + or_steps + (xor_steps - gen_xor_steps);
+        case StrategyKind::kGeneralizedXor: return gen_xor_steps;
+        case StrategyKind::kShannonMux: return mux_steps;
+    }
+    return 0;
 }
 
 BddDecomposer::BddDecomposer(bdd::Manager& mgr, net::GateSink& sink,
                              std::vector<net::Signal> leaves, EngineParams params)
-    : mgr_(mgr), builder_(sink), leaves_(std::move(leaves)), params_(params) {}
+    : mgr_(mgr), builder_(sink), leaves_(std::move(leaves)), params_(std::move(params)) {
+    config_ = preset_pipeline(params_.preset);
+    if (!params_.use_majority) {
+        config_.order.erase(std::remove(config_.order.begin(), config_.order.end(),
+                                        StrategyKind::kMajority),
+                            config_.order.end());
+    }
+    strategies_.reserve(config_.order.size());
+    for (const StrategyKind kind : config_.order) {
+        strategies_.push_back(make_strategy(kind));
+    }
+    if (config_.selection == SelectionMode::kBestCost) {
+        cost_model_ = make_cost_model(config_.cost_model);
+    }
+}
 
 Signal BddDecomposer::decompose(const Bdd& f) {
     assert(f.manager() == &mgr_);
@@ -49,11 +78,59 @@ Signal BddDecomposer::decompose_edge(Edge e) {
     return s;
 }
 
+Signal BddDecomposer::emit(const Candidate& cand) {
+    switch (cand.op) {
+        case Candidate::Op::kAnd: {
+            ++stats_.and_steps;
+            const Signal q = decompose_edge(cand.a.edge());
+            const Signal d = decompose_edge(cand.b.edge());
+            return builder_.build_and(q, d);
+        }
+        case Candidate::Op::kOr: {
+            ++stats_.or_steps;
+            const Signal q = decompose_edge(cand.a.edge());
+            const Signal d = decompose_edge(cand.b.edge());
+            return builder_.build_or(q, d);
+        }
+        case Candidate::Op::kXor: {
+            ++stats_.xor_steps;
+            if (cand.source == StrategyKind::kGeneralizedXor) ++stats_.gen_xor_steps;
+            const Signal q = decompose_edge(cand.a.edge());
+            const Signal d = decompose_edge(cand.b.edge());
+            return builder_.build_xor(q, d);
+        }
+        case Candidate::Op::kMaj: {
+            ++stats_.maj_steps;
+            const Signal sa = decompose_edge(cand.a.edge());
+            const Signal sb = decompose_edge(cand.b.edge());
+            const Signal sc = decompose_edge(cand.c.edge());
+            return builder_.build_maj(sa, sb, sc);
+        }
+        case Candidate::Op::kMux: {
+            ++stats_.mux_steps;
+            assert(cand.mux_var >= 0 &&
+                   static_cast<std::size_t>(cand.mux_var) < leaves_.size());
+            const Signal sel = leaves_[static_cast<std::size_t>(cand.mux_var)];
+            const Signal hi = decompose_edge(cand.a.edge());
+            const Signal lo = decompose_edge(cand.b.edge());
+            return builder_.build_mux(sel, hi, lo);
+        }
+        case Candidate::Op::kExact: {
+            ++stats_.exact_steps;
+            assert(cand.structure != nullptr);
+            return emit_exact_cone(cand.match, *cand.structure, builder_, leaves_);
+        }
+    }
+    assert(false && "unreachable candidate op");
+    return Signal{};
+}
+
 Signal BddDecomposer::decompose_regular(Edge e) {
     const Bdd f = mgr_.from_edge(e);
     const int top_var = mgr_.edge_top_var(e);
 
-    // Stage 0: literal.
+    // Stage 0: literal. Terminal for the recursion, so it stays
+    // engine-internal rather than being a strategy.
     if (mgr_.edge_then(e) == bdd::kEdgeOne && mgr_.edge_else(e) == bdd::kEdgeZero) {
         ++stats_.literal_leaves;
         assert(static_cast<std::size_t>(top_var) < leaves_.size());
@@ -61,114 +138,33 @@ Signal BddDecomposer::decompose_regular(Edge e) {
     }
 
     DominatorAnalysis analysis(mgr_, f);
-    // |dag(f)| falls out of the analysis DAG; stages 2 and 3 share it
-    // instead of re-traversing f once (or twice) per recursion step.
-    const std::size_t f_size = analysis.nodes().size();
+    // |dag(f)| falls out of the analysis DAG; every strategy shares it
+    // instead of re-traversing f per recursion step.
+    StepContext ctx{mgr_, f, analysis, analysis.nodes().size(), params_, stats_};
 
-    // Stage 1: majority decomposition at the top of the dominator search.
-    // The engine's dominator analysis is handed down so the candidate
-    // search does not repeat it.
-    if (params_.use_majority) {
-        const std::optional<MajDecomposition> md =
-            maj_decompose(mgr_, f, analysis, params_.maj);
-        if (md) {
-            ++stats_.maj_attempts;
-            if (maj_globally_advantageous(mgr_, f, *md, params_.maj.k_global)) {
-                ++stats_.maj_steps;
-                const Signal sa = decompose_edge(md->fa.edge());
-                const Signal sb = decompose_edge(md->fb.edge());
-                const Signal sc = decompose_edge(md->fc.edge());
-                return builder_.build_maj(sa, sb, sc);
-            }
-            ++stats_.maj_rejected;
+    std::optional<Candidate> chosen;
+    if (config_.selection == SelectionMode::kFirstFit) {
+        for (const auto& strategy : strategies_) {
+            chosen = strategy->propose(ctx);
+            if (chosen) break;
         }
-    }
-
-    // Stage 2: simple dominators. Shortlist by divisor balance (|Fv| close
-    // to |F|/2), then score shortlisted candidates exactly. Divisor sizes
-    // come from the analysis' one-pass size computation — the previous
-    // dag_size call per flagged candidate made this step quadratic in |F|.
-    if (analysis.has_simple_dominator()) {
-        struct Candidate {
-            const NodeDomInfo* info;
-            SimpleDecomposition::Op op;
-            std::size_t divisor_size;
-        };
-        const std::vector<std::size_t>& sizes = analysis.node_sizes();
-        const std::vector<NodeDomInfo>& infos = analysis.nodes();
-        std::vector<Candidate> shortlist;
-        for (std::size_t i = 0; i < infos.size(); ++i) {
-            const NodeDomInfo& info = infos[i];
-            if (info.is_one_dominator) {
-                shortlist.push_back({&info, SimpleDecomposition::Op::kAnd, sizes[i]});
-            } else if (info.is_zero_dominator) {
-                shortlist.push_back({&info, SimpleDecomposition::Op::kOr, sizes[i]});
-            } else if (info.is_x_dominator) {
-                shortlist.push_back({&info, SimpleDecomposition::Op::kXor, sizes[i]});
-            }
-        }
-        const auto balance = [f_size](std::size_t part) {
-            const auto half = static_cast<double>(f_size) / 2.0;
-            return std::abs(static_cast<double>(part) - half);
-        };
-        std::stable_sort(shortlist.begin(), shortlist.end(),
-                         [&](const Candidate& a, const Candidate& b) {
-                             return balance(a.divisor_size) < balance(b.divisor_size);
-                         });
-        if (static_cast<int>(shortlist.size()) > params_.max_simple_candidates) {
-            shortlist.resize(static_cast<std::size_t>(params_.max_simple_candidates));
-        }
-        std::optional<SimpleDecomposition> best;
-        std::size_t best_score = 0;
-        for (const Candidate& c : shortlist) {
-            SimpleDecomposition d = analysis.decompose_at(*c.info, c.op);
-            const std::size_t score =
-                std::max(mgr_.dag_size(d.quotient), mgr_.dag_size(d.divisor));
-            if (!best || score < best_score) {
-                best_score = score;
-                best = std::move(d);
-            }
-        }
-        if (best) {
-            const Signal q = decompose_edge(best->quotient.edge());
-            const Signal d = decompose_edge(best->divisor.edge());
-            switch (best->op) {
-                case SimpleDecomposition::Op::kAnd:
-                    ++stats_.and_steps;
-                    return builder_.build_and(q, d);
-                case SimpleDecomposition::Op::kOr:
-                    ++stats_.or_steps;
-                    return builder_.build_or(q, d);
-                case SimpleDecomposition::Op::kXor:
-                    ++stats_.xor_steps;
-                    return builder_.build_xor(q, d);
+    } else {
+        double best_cost = 0.0;
+        for (const auto& strategy : strategies_) {
+            std::optional<Candidate> cand = strategy->propose(ctx);
+            if (!cand) continue;
+            const double c = cost_model_->cost(*cand, ctx);
+            // Strict <: ties go to the earlier strategy in pipeline order.
+            if (!chosen || c < best_cost) {
+                best_cost = c;
+                chosen = std::move(cand);
             }
         }
     }
-
-    // Stage 3: generalized (non-disjoint) XOR split, accepted only when
-    // both parts strictly shrink.
-    {
-        const XorSplit split = xor_decompose(mgr_, f, params_.maj.xor_params);
-        if (!split.trivial) {
-            const auto limit = static_cast<double>(f_size) * params_.xor_acceptance_factor;
-            if (static_cast<double>(mgr_.dag_size(split.m)) < limit &&
-                static_cast<double>(mgr_.dag_size(split.k)) < limit) {
-                ++stats_.xor_steps;
-                const Signal m = decompose_edge(split.m.edge());
-                const Signal k = decompose_edge(split.k.edge());
-                return builder_.build_xor(m, k);
-            }
-        }
-    }
-
-    // Stage 4: Shannon cofactoring on the top variable (MUX fallback). The
-    // builder expands the MUX into the AND/OR alphabet.
-    ++stats_.mux_steps;
-    const Signal sel = leaves_[static_cast<std::size_t>(top_var)];
-    const Signal hi = decompose_edge(mgr_.edge_then(e));
-    const Signal lo = decompose_edge(mgr_.edge_else(e));
-    return builder_.build_mux(sel, hi, lo);
+    // Pipeline resolution guarantees ShannonMux is present and it always
+    // proposes, so a candidate always exists.
+    assert(chosen.has_value());
+    return emit(*chosen);
 }
 
 }  // namespace bdsmaj::decomp

@@ -1,49 +1,96 @@
 #pragma once
 // The BDD decomposition engine (paper SIV-B): recursively decomposes a BDD
-// into a factoring tree emitted through the hash-consing network builder
-// (on-line logic sharing, SIV-C).
+// into a factoring tree emitted through any GateSink (the hash-consing
+// network builder for on-line logic sharing, SIV-C, or a worker's GateTape).
 //
-// Stage order per function, following the paper:
-//   0. constants / literals terminate the recursion;
-//   1. majority decomposition "on the top of the dominator nodes search" —
-//      tried first, accepted only when globally advantageous (k_global);
-//   2. simple dominators (1-, 0-, x-) -> disjoint AND / OR / XOR;
-//   3. generalized (non-disjoint) XOR split when it shrinks both parts;
-//   4. Shannon cofactoring on the top variable (MUX) as last resort.
+// Since the strategy refactor the engine is a pipeline driver, not a fixed
+// ladder: each recursion step computes the dominator analysis once, hands
+// it to an ordered list of pluggable DecompStrategy objects
+// (strategy.hpp), and emits the winning Candidate — first-fit for the
+// paper's ladder semantics, or cheapest-by-CostModel for the cost-driven
+// presets. The stages themselves live in strategy.cpp:
 //
-// Setting `use_majority = false` removes stage 1 and yields the BDS-PGA
-// baseline the paper compares against in Table I.
+//   0. constants / literals terminate the recursion (engine-internal);
+//   1. ExactSmallConeStrategy  — optional: NPN-cached minimal structures
+//      for cones with <= 4 support variables (decomp/exact.hpp);
+//   2. MajorityStrategy        — MAJ "on the top of the dominator nodes
+//      search", accepted only when globally advantageous (k_global);
+//   3. SimpleDominatorStrategy — 1-, 0-, x-dominators -> AND / OR / XOR;
+//   4. GeneralizedXorStrategy  — non-disjoint XOR split when both parts
+//      shrink;
+//   5. ShannonMuxStrategy      — cofactoring on the top variable, the
+//      guaranteed last resort.
+//
+// The pipeline is selected by EngineParams::preset (see preset_catalog()):
+// `paper` reproduces the pre-framework ladder byte-for-byte, `bds-pga` is
+// the Table I baseline (use_majority = false strips the majority stage
+// from any preset, which is exactly how the flows request it), and the
+// exact / cost-model presets trade structure for gate count. Every
+// candidate is a valid decomposition by construction, so all presets
+// yield functionally equivalent networks.
 
+#include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "bdd/bdd.hpp"
 #include "decomp/maj_decomp.hpp"
+#include "decomp/strategy.hpp"
 #include "network/gate_sink.hpp"
 
 namespace bdsmaj::decomp {
 
 struct EngineParams {
-    bool use_majority = true;  ///< false => BDS-PGA baseline
+    bool use_majority = true;  ///< false => strip the majority stage (BDS-PGA)
     MajDecompParams maj;
     /// Simple-dominator candidates scored for balance (top-k shortlist).
     int max_simple_candidates = 4;
     /// Accept a generalized XOR split only if both parts are smaller than
     /// the function by this factor.
     double xor_acceptance_factor = 1.0;
+    /// Named strategy pipeline (see preset_catalog()); resolved once per
+    /// decomposer. Unknown names throw std::invalid_argument at
+    /// construction.
+    std::string preset = "paper";
+    /// Support cap for the exact small-cone strategy (hard limit 4).
+    int exact_max_support = 4;
+    /// Profitability gate for the exact strategy: serve a cached structure
+    /// only when its gate count is below |dag(f)| + this margin (more
+    /// negative = more conservative, preserving the ladder's cross-cone
+    /// sharing; see ExactSmallConeStrategy). -1 is the measured sweet spot
+    /// on the MCNC suite.
+    int exact_min_saving = -1;
 };
 
 /// Counts of applied decompositions, one increment per recursion step.
+/// npn_cache_* describe the process-wide exact-structure cache and are the
+/// only fields that depend on prior process history (a class enumerated by
+/// an earlier run is a hit here), so they are excluded from determinism
+/// fingerprints; everything else is a pure function of input and preset.
 struct EngineStats {
     int and_steps = 0;
     int or_steps = 0;
-    int xor_steps = 0;
+    int xor_steps = 0;      ///< simple-dominator + generalized XOR steps
     int maj_steps = 0;
     int mux_steps = 0;
+    int exact_steps = 0;    ///< whole cones served by the exact backend
+    int gen_xor_steps = 0;  ///< the generalized (stage 3) subset of xor_steps
     int maj_attempts = 0;   ///< majority decompositions evaluated
     int maj_rejected = 0;   ///< failed the global advantage gate
     int literal_leaves = 0;
+    long long npn_cache_hits = 0;
+    long long npn_cache_misses = 0;
 
     EngineStats& operator+=(const EngineStats& o);
+
+    /// Total accepted decomposition steps (excludes literal leaves).
+    [[nodiscard]] int total_steps() const noexcept {
+        return and_steps + or_steps + xor_steps + maj_steps + mux_steps +
+               exact_steps;
+    }
+    /// Steps credited to one strategy; summing over all strategies in a
+    /// pipeline yields total_steps() (tests enforce it).
+    [[nodiscard]] int steps_for(StrategyKind kind) const noexcept;
 };
 
 /// Decomposes functions of one BDD manager into gates over leaf signals,
@@ -53,6 +100,7 @@ struct EngineStats {
 /// calls realizes BDD-level sharing inside a supernode.
 class BddDecomposer {
 public:
+    /// Throws std::invalid_argument when params.preset is unknown.
     BddDecomposer(bdd::Manager& mgr, net::GateSink& sink,
                   std::vector<net::Signal> leaves, EngineParams params = {});
 
@@ -61,14 +109,24 @@ public:
 
     [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
+    /// The resolved pipeline (after the use_majority strip), for
+    /// introspection and tests.
+    [[nodiscard]] const StrategyPipelineConfig& pipeline() const noexcept {
+        return config_;
+    }
+
 private:
     net::Signal decompose_edge(bdd::Edge e);
     net::Signal decompose_regular(bdd::Edge e);
+    net::Signal emit(const Candidate& cand);
 
     bdd::Manager& mgr_;
     net::GateSink& builder_;
     std::vector<net::Signal> leaves_;
     EngineParams params_;
+    StrategyPipelineConfig config_;
+    std::vector<std::unique_ptr<DecompStrategy>> strategies_;
+    std::unique_ptr<CostModel> cost_model_;  ///< kBestCost pipelines only
     EngineStats stats_;
     std::unordered_map<bdd::Edge, net::Signal> memo_;  // regular edges only
     /// Keeps every memoized function referenced: a bare Edge key would dangle

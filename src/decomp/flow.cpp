@@ -161,12 +161,18 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
     // Both branches drive the builder with the identical call sequence —
     // tape i replayed after tapes [0, i) — so the output network is
     // byte-identical at any worker count.
+    const auto cancelled = [&params] {
+        return params.cancel != nullptr &&
+               params.cancel->load(std::memory_order_relaxed);
+    };
+
     if (workers <= 1) {
         // Serial: decompose and replay one supernode at a time, so only
         // one tape is ever live (the batch path below would hold the gate
         // IR of the whole network at once for no parallelism in return).
         ConeScratch scratch;
         for (const Supernode& sn : supernodes) {
+            if (cancelled()) throw FlowCancelled();
             net::GateTape tape(sn.leaves.size());
             EngineStats stats;
             decompose_supernode_to_tape(input, sn, params, scratch, tape, stats);
@@ -204,6 +210,10 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
 
         const auto decompose_one = [&](std::size_t i, int slot) {
             try {
+                // Per-supernode cancellation checkpoint: stop before
+                // starting another cone; the shared error slot aborts the
+                // rest of the pipeline exactly like a failure would.
+                if (cancelled()) throw FlowCancelled();
                 decompose_supernode_to_tape(input, supernodes[i], params,
                                             scratch[static_cast<std::size_t>(slot)],
                                             tapes[i], stats_of[i]);
@@ -245,6 +255,11 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
         {
             std::unique_lock<std::mutex> lock(m);
             while (replayed < n && err == nullptr) {
+                if (cancelled()) {
+                    err = std::make_exception_ptr(FlowCancelled());
+                    space_cv.notify_all();
+                    break;
+                }
                 if (ready[replayed]) {
                     const std::size_t i = replayed;
                     lock.unlock();

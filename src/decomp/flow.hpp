@@ -17,6 +17,8 @@
 // network is byte-identical at any `jobs` setting (see
 // docs/performance.md, "Parallel pipeline").
 
+#include <atomic>
+#include <stdexcept>
 #include <string>
 
 #include "decomp/engine.hpp"
@@ -24,6 +26,13 @@
 #include "network/network.hpp"
 
 namespace bdsmaj::decomp {
+
+/// Thrown by decompose_network when its cancellation token fires; the
+/// synthesis service maps it to JobStatus::kCancelled (not a failure).
+class FlowCancelled : public std::runtime_error {
+public:
+    FlowCancelled() : std::runtime_error("synthesis flow cancelled") {}
+};
 
 struct DecompFlowParams {
     EngineParams engine;
@@ -43,6 +52,11 @@ struct DecompFlowParams {
     /// IR held in memory; <= 0 picks 2 * workers + 2. The output network
     /// does not depend on this either.
     int replay_window = 0;
+    /// Cooperative cancellation token. When non-null and set (by any
+    /// thread), decompose_network stops at the next per-supernode
+    /// checkpoint — before decomposing or replaying another supernode —
+    /// and throws FlowCancelled. Null = not cancellable.
+    const std::atomic<bool>* cancel = nullptr;
 };
 
 struct DecompFlowResult {

@@ -1,0 +1,428 @@
+#include "decomp/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "decomp/engine.hpp"
+#include "decomp/maj_decomp.hpp"
+#include "decomp/xor_decomp.hpp"
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using bdd::Bdd;
+
+// ---------------------------------------------------------------------------
+// Strategies. Each is stateless between steps; all per-step inputs arrive
+// through the StepContext, so one instance is safe to reuse across an
+// entire supernode recursion (and strategies hold no manager state).
+// ---------------------------------------------------------------------------
+
+/// Paper stage 1: majority decomposition on top of the dominator search,
+/// accepted only when globally advantageous (k_global). Attempt/rejection
+/// counters live here — they describe the search, not an accepted step.
+class MajorityStrategy final : public DecompStrategy {
+public:
+    [[nodiscard]] StrategyKind kind() const noexcept override {
+        return StrategyKind::kMajority;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "majority";
+    }
+    [[nodiscard]] std::optional<Candidate> propose(StepContext& ctx) override {
+        const std::optional<MajDecomposition> md =
+            maj_decompose(ctx.mgr, ctx.f, ctx.analysis, ctx.params.maj);
+        if (!md) return std::nullopt;
+        ++ctx.stats.maj_attempts;
+        if (!maj_globally_advantageous(ctx.mgr, ctx.f, *md,
+                                       ctx.params.maj.k_global)) {
+            ++ctx.stats.maj_rejected;
+            return std::nullopt;
+        }
+        Candidate cand;
+        cand.source = StrategyKind::kMajority;
+        cand.op = Candidate::Op::kMaj;
+        cand.a = md->fa;
+        cand.b = md->fb;
+        cand.c = md->fc;
+        return cand;
+    }
+};
+
+/// Paper stage 2: simple dominators (1-, 0-, x-) -> disjoint AND/OR/XOR.
+/// Shortlist by divisor balance (|Fv| close to |F|/2), then score the
+/// shortlist exactly by max(|quotient|, |divisor|).
+class SimpleDominatorStrategy final : public DecompStrategy {
+public:
+    [[nodiscard]] StrategyKind kind() const noexcept override {
+        return StrategyKind::kSimpleDominator;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "simple-dominator";
+    }
+    [[nodiscard]] std::optional<Candidate> propose(StepContext& ctx) override {
+        if (!ctx.analysis.has_simple_dominator()) return std::nullopt;
+        struct Entry {
+            const NodeDomInfo* info;
+            SimpleDecomposition::Op op;
+            std::size_t divisor_size;
+        };
+        const std::vector<std::size_t>& sizes = ctx.analysis.node_sizes();
+        const std::vector<NodeDomInfo>& infos = ctx.analysis.nodes();
+        std::vector<Entry> shortlist;
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+            const NodeDomInfo& info = infos[i];
+            if (info.is_one_dominator) {
+                shortlist.push_back({&info, SimpleDecomposition::Op::kAnd, sizes[i]});
+            } else if (info.is_zero_dominator) {
+                shortlist.push_back({&info, SimpleDecomposition::Op::kOr, sizes[i]});
+            } else if (info.is_x_dominator) {
+                shortlist.push_back({&info, SimpleDecomposition::Op::kXor, sizes[i]});
+            }
+        }
+        const std::size_t f_size = ctx.f_size;
+        const auto balance = [f_size](std::size_t part) {
+            const auto half = static_cast<double>(f_size) / 2.0;
+            return std::abs(static_cast<double>(part) - half);
+        };
+        std::stable_sort(shortlist.begin(), shortlist.end(),
+                         [&](const Entry& a, const Entry& b) {
+                             return balance(a.divisor_size) < balance(b.divisor_size);
+                         });
+        if (static_cast<int>(shortlist.size()) > ctx.params.max_simple_candidates) {
+            shortlist.resize(
+                static_cast<std::size_t>(ctx.params.max_simple_candidates));
+        }
+        std::optional<SimpleDecomposition> best;
+        std::size_t best_score = 0;
+        for (const Entry& e : shortlist) {
+            SimpleDecomposition d = ctx.analysis.decompose_at(*e.info, e.op);
+            const std::size_t score =
+                std::max(ctx.mgr.dag_size(d.quotient), ctx.mgr.dag_size(d.divisor));
+            if (!best || score < best_score) {
+                best_score = score;
+                best = std::move(d);
+            }
+        }
+        if (!best) return std::nullopt;
+        Candidate cand;
+        cand.source = StrategyKind::kSimpleDominator;
+        switch (best->op) {
+            case SimpleDecomposition::Op::kAnd: cand.op = Candidate::Op::kAnd; break;
+            case SimpleDecomposition::Op::kOr: cand.op = Candidate::Op::kOr; break;
+            case SimpleDecomposition::Op::kXor: cand.op = Candidate::Op::kXor; break;
+        }
+        cand.a = std::move(best->quotient);
+        cand.b = std::move(best->divisor);
+        return cand;
+    }
+};
+
+/// Paper stage 3: generalized (non-disjoint) XOR split, accepted only when
+/// both parts shrink below xor_acceptance_factor * |F|.
+class GeneralizedXorStrategy final : public DecompStrategy {
+public:
+    [[nodiscard]] StrategyKind kind() const noexcept override {
+        return StrategyKind::kGeneralizedXor;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "generalized-xor";
+    }
+    [[nodiscard]] std::optional<Candidate> propose(StepContext& ctx) override {
+        const XorSplit split =
+            xor_decompose(ctx.mgr, ctx.f, ctx.params.maj.xor_params);
+        if (split.trivial) return std::nullopt;
+        const auto limit =
+            static_cast<double>(ctx.f_size) * ctx.params.xor_acceptance_factor;
+        if (static_cast<double>(ctx.mgr.dag_size(split.m)) >= limit ||
+            static_cast<double>(ctx.mgr.dag_size(split.k)) >= limit) {
+            return std::nullopt;
+        }
+        Candidate cand;
+        cand.source = StrategyKind::kGeneralizedXor;
+        cand.op = Candidate::Op::kXor;
+        cand.a = split.m;
+        cand.b = split.k;
+        return cand;
+    }
+};
+
+/// Paper stage 4: Shannon cofactoring on the top variable. Always
+/// proposes, so any pipeline ending here terminates.
+class ShannonMuxStrategy final : public DecompStrategy {
+public:
+    [[nodiscard]] StrategyKind kind() const noexcept override {
+        return StrategyKind::kShannonMux;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "shannon-mux";
+    }
+    [[nodiscard]] std::optional<Candidate> propose(StepContext& ctx) override {
+        const bdd::Edge e = ctx.f.edge();
+        Candidate cand;
+        cand.source = StrategyKind::kShannonMux;
+        cand.op = Candidate::Op::kMux;
+        cand.mux_var = ctx.mgr.edge_top_var(e);
+        cand.a = ctx.mgr.from_edge(ctx.mgr.edge_then(e));
+        cand.b = ctx.mgr.from_edge(ctx.mgr.edge_else(e));
+        return cand;
+    }
+};
+
+/// Exact small-cone strategy: when the support fits in 4 variables, serve
+/// the minimal cached {MAJ,AND,OR,XOR,MUX,NOT} structure for the cone's
+/// NPN class. The DAG-size pre-filter keeps the reject path O(1): a
+/// reduced BDD over 4 variables never exceeds a handful of nodes.
+class ExactSmallConeStrategy final : public DecompStrategy {
+public:
+    /// Largest reduced-BDD node count of any function on <= 4 variables
+    /// (3 + 2 + 4 + 2 per level, generously rounded up).
+    static constexpr std::size_t kMaxSmallConeNodes = 16;
+
+    [[nodiscard]] StrategyKind kind() const noexcept override {
+        return StrategyKind::kExactSmallCone;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "exact-small-cone";
+    }
+    [[nodiscard]] std::optional<Candidate> propose(StepContext& ctx) override {
+        if (ctx.f_size > kMaxSmallConeNodes) return std::nullopt;
+        const int max_support = std::min(ctx.params.exact_max_support, 4);
+        std::optional<ConeMatch> match = match_cone(ctx.mgr, ctx.f, max_support);
+        if (!match) return std::nullopt;
+        bool was_hit = false;
+        Candidate cand;
+        cand.structure =
+            ExactSynthesisCache::instance().lookup(match->canonical, &was_hit);
+        if (was_hit) {
+            ++ctx.stats.npn_cache_hits;
+        } else {
+            ++ctx.stats.npn_cache_misses;
+        }
+        // Profitability gate: an exact structure is a sharing-opaque block
+        // (its gates only unify with structurally identical ones), while
+        // the ladder's recursion memoizes shared sub-BDDs across the whole
+        // supernode. Serving the cone is only a win when the program is
+        // strictly smaller than the ladder's ~1-gate-per-BDD-node yield.
+        if (cand.structure->gate_count() >=
+            static_cast<int>(ctx.f_size) + ctx.params.exact_min_saving) {
+            return std::nullopt;
+        }
+        cand.source = StrategyKind::kExactSmallCone;
+        cand.op = Candidate::Op::kExact;
+        cand.match = *match;
+        return cand;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Cost models. Recursion yields are estimated from the BDD sizes of the
+// operands (a decomposed part of n nodes lands near n gates); exact
+// candidates are scored by their known program size.
+// ---------------------------------------------------------------------------
+
+double part_size(StepContext& ctx, const Bdd& part) {
+    if (!part.valid() || part.is_constant()) return 0.0;
+    const std::size_t n = ctx.mgr.dag_size(part);
+    // A literal costs nothing: it is a leaf wire, not a gate.
+    return n <= 1 ? 0.0 : static_cast<double>(n);
+}
+
+struct CandidateShape {
+    double parts = 0.0;      ///< summed operand size estimate
+    double max_part = 0.0;   ///< largest operand size estimate
+    int root_gates = 0;      ///< gates the root operator itself emits
+    int root_fanin = 0;      ///< fanin literals of the root operator
+    bool exact = false;
+    int exact_gates = 0;
+};
+
+CandidateShape shape_of(const Candidate& cand, StepContext& ctx) {
+    CandidateShape s;
+    if (cand.op == Candidate::Op::kExact) {
+        s.exact = true;
+        s.exact_gates = cand.structure != nullptr ? cand.structure->gate_count() : 0;
+        return s;
+    }
+    for (const Bdd* part : {&cand.a, &cand.b, &cand.c}) {
+        if (!part->valid()) continue;
+        const double n = part_size(ctx, *part);
+        s.parts += n;
+        s.max_part = std::max(s.max_part, n);
+    }
+    switch (cand.op) {
+        case Candidate::Op::kAnd:
+        case Candidate::Op::kOr:
+        case Candidate::Op::kXor:
+            s.root_gates = 1;
+            s.root_fanin = 2;
+            break;
+        case Candidate::Op::kMaj:
+            s.root_gates = 1;
+            s.root_fanin = 3;
+            break;
+        case Candidate::Op::kMux:
+            // The builder expands MUX into OR(AND(s,t), AND(!s,e)).
+            s.root_gates = 3;
+            s.root_fanin = 4;
+            break;
+        case Candidate::Op::kExact:
+            break;
+    }
+    return s;
+}
+
+class GateCountCost final : public CostModel {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "gate-count";
+    }
+    [[nodiscard]] double cost(const Candidate& cand, StepContext& ctx) const override {
+        const CandidateShape s = shape_of(cand, ctx);
+        if (s.exact) return static_cast<double>(s.exact_gates);
+        return static_cast<double>(s.root_gates) + s.parts;
+    }
+};
+
+class LiteralCountCost final : public CostModel {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "literal-count";
+    }
+    [[nodiscard]] double cost(const Candidate& cand, StepContext& ctx) const override {
+        const CandidateShape s = shape_of(cand, ctx);
+        // Two-input gates dominate the recursion tail: ~2 literals per
+        // eventual gate, plus the root operator's own fanin.
+        if (s.exact) return 2.0 * static_cast<double>(s.exact_gates);
+        return static_cast<double>(s.root_fanin) + 2.0 * s.parts;
+    }
+};
+
+class MajDepthCost final : public CostModel {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "maj-depth";
+    }
+    [[nodiscard]] double cost(const Candidate& cand, StepContext& ctx) const override {
+        const CandidateShape s = shape_of(cand, ctx);
+        // Depth proxy: one level for the root (two for an expanded MUX),
+        // plus the deepest operand's recursion estimated at log2(size).
+        if (s.exact) return static_cast<double>(s.exact_gates);
+        const double root_depth = cand.op == Candidate::Op::kMux ? 2.0 : 1.0;
+        return root_depth + std::log2(s.max_part + 1.0);
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<DecompStrategy> make_strategy(StrategyKind kind) {
+    switch (kind) {
+        case StrategyKind::kExactSmallCone:
+            return std::make_unique<ExactSmallConeStrategy>();
+        case StrategyKind::kMajority: return std::make_unique<MajorityStrategy>();
+        case StrategyKind::kSimpleDominator:
+            return std::make_unique<SimpleDominatorStrategy>();
+        case StrategyKind::kGeneralizedXor:
+            return std::make_unique<GeneralizedXorStrategy>();
+        case StrategyKind::kShannonMux:
+            return std::make_unique<ShannonMuxStrategy>();
+    }
+    throw std::invalid_argument("unknown StrategyKind");
+}
+
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind) {
+    switch (kind) {
+        case CostModelKind::kGateCount: return std::make_unique<GateCountCost>();
+        case CostModelKind::kLiteralCount:
+            return std::make_unique<LiteralCountCost>();
+        case CostModelKind::kMajDepth: return std::make_unique<MajDepthCost>();
+    }
+    throw std::invalid_argument("unknown CostModelKind");
+}
+
+std::string_view strategy_name(StrategyKind kind) {
+    switch (kind) {
+        case StrategyKind::kExactSmallCone: return "exact-small-cone";
+        case StrategyKind::kMajority: return "majority";
+        case StrategyKind::kSimpleDominator: return "simple-dominator";
+        case StrategyKind::kGeneralizedXor: return "generalized-xor";
+        case StrategyKind::kShannonMux: return "shannon-mux";
+    }
+    return "?";
+}
+
+const std::vector<PresetInfo>& preset_catalog() {
+    static const std::vector<PresetInfo> catalog = {
+        {"paper",
+         "majority -> simple dominators -> generalized XOR -> Shannon; "
+         "byte-identical to the pre-framework engine"},
+        {"bds-pga",
+         "the paper ladder without the majority stage (Table I baseline)"},
+        {"exact-aggressive",
+         "NPN-cached exact structures for cones with <= 4 support "
+         "variables, then the paper ladder"},
+        {"best-cost",
+         "all strategies propose every step; the gate-count cost model "
+         "picks the cheapest candidate"},
+        {"best-literals",
+         "all strategies propose every step; the literal-count cost model "
+         "picks the cheapest candidate"},
+        {"maj-depth",
+         "all strategies propose every step; the MAJ-depth cost model "
+         "favors shallow majority-heavy structures"},
+    };
+    return catalog;
+}
+
+bool is_known_preset(std::string_view name) {
+    for (const PresetInfo& p : preset_catalog()) {
+        if (p.name == name) return true;
+    }
+    return false;
+}
+
+StrategyPipelineConfig preset_pipeline(std::string_view name) {
+    using K = StrategyKind;
+    StrategyPipelineConfig config;
+    if (name == "paper") {
+        config.order = {K::kMajority, K::kSimpleDominator, K::kGeneralizedXor,
+                        K::kShannonMux};
+    } else if (name == "bds-pga") {
+        config.order = {K::kSimpleDominator, K::kGeneralizedXor, K::kShannonMux};
+    } else if (name == "exact-aggressive") {
+        config.order = {K::kExactSmallCone, K::kMajority, K::kSimpleDominator,
+                        K::kGeneralizedXor, K::kShannonMux};
+    } else if (name == "best-cost") {
+        config.order = {K::kExactSmallCone, K::kMajority, K::kSimpleDominator,
+                        K::kGeneralizedXor, K::kShannonMux};
+        config.selection = SelectionMode::kBestCost;
+        config.cost_model = CostModelKind::kGateCount;
+    } else if (name == "best-literals") {
+        config.order = {K::kExactSmallCone, K::kMajority, K::kSimpleDominator,
+                        K::kGeneralizedXor, K::kShannonMux};
+        config.selection = SelectionMode::kBestCost;
+        config.cost_model = CostModelKind::kLiteralCount;
+    } else if (name == "maj-depth") {
+        config.order = {K::kExactSmallCone, K::kMajority, K::kSimpleDominator,
+                        K::kGeneralizedXor, K::kShannonMux};
+        config.selection = SelectionMode::kBestCost;
+        config.cost_model = CostModelKind::kMajDepth;
+    } else {
+        std::string known;
+        for (const PresetInfo& p : preset_catalog()) {
+            if (!known.empty()) known += ", ";
+            known += p.name;
+        }
+        throw std::invalid_argument("unknown decomposition preset \"" +
+                                    std::string(name) + "\" (known: " + known + ")");
+    }
+    if (std::find(config.order.begin(), config.order.end(), K::kShannonMux) ==
+        config.order.end()) {
+        config.order.push_back(K::kShannonMux);
+    }
+    return config;
+}
+
+}  // namespace bdsmaj::decomp

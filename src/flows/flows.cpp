@@ -18,14 +18,18 @@ double seconds_since(Clock::time_point start) {
 }
 
 SynthesisResult from_decomposition(std::string name, const net::Network& input,
-                                   bool use_majority, int jobs) {
+                                   bool use_majority, const FlowOptions& options) {
     const auto start = Clock::now();
     decomp::DecompFlowParams params;
     params.engine.use_majority = use_majority;
-    params.jobs = jobs;
+    params.engine.preset = options.preset;
+    params.jobs = options.jobs;
+    params.cancel = options.cancel;
     decomp::DecompFlowResult d = decomp::decompose_network(input, params);
     SynthesisResult result;
-    result.flow_name = std::move(name);
+    // Non-default presets surface in the flow name so multi-preset sweeps
+    // stay tellable apart in logs and CLI output.
+    result.flow_name = decorated_flow_name(std::move(name), options.preset);
     result.engine_stats = d.engine_stats;
     result.optimized = std::move(d.network);
     result.optimized_stats = result.optimized.stats();
@@ -41,12 +45,20 @@ const mapping::CellLibrary& default_library() {
     return lib;
 }
 
+SynthesisResult flow_bdsmaj(const net::Network& input, const FlowOptions& options) {
+    return from_decomposition("BDS-MAJ", input, /*use_majority=*/true, options);
+}
+
+SynthesisResult flow_bdspga(const net::Network& input, const FlowOptions& options) {
+    return from_decomposition("BDS-PGA", input, /*use_majority=*/false, options);
+}
+
 SynthesisResult flow_bdsmaj(const net::Network& input, int jobs) {
-    return from_decomposition("BDS-MAJ", input, /*use_majority=*/true, jobs);
+    return flow_bdsmaj(input, FlowOptions{.jobs = jobs});
 }
 
 SynthesisResult flow_bdspga(const net::Network& input, int jobs) {
-    return from_decomposition("BDS-PGA", input, /*use_majority=*/false, jobs);
+    return flow_bdspga(input, FlowOptions{.jobs = jobs});
 }
 
 SynthesisResult flow_abc(const net::Network& input) {
@@ -72,19 +84,58 @@ SynthesisResult flow_abc(const net::Network& input) {
     return result;
 }
 
+std::string decorated_flow_name(std::string base, const std::string& preset) {
+    if (preset != "paper") base += "(" + preset + ")";
+    return base;
+}
+
+std::vector<SynthesisResult> run_all_flows(const net::Network& input,
+                                           const FlowOptions& options) {
+    // The BDS flows checkpoint internally (between supernodes); the ABC
+    // and DC passes are not interruptible, so check the token at every
+    // flow boundary to keep "all"-flow jobs responsive to cancel().
+    const auto checkpoint = [&options] {
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) {
+            throw decomp::FlowCancelled();
+        }
+    };
+    std::vector<SynthesisResult> out;
+    out.push_back(flow_bdsmaj(input, options));
+    out.push_back(flow_bdspga(input, options));
+    checkpoint();
+    out.push_back(flow_abc(input));
+    checkpoint();
+    out.push_back(flow_dc(input));
+    return out;
+}
+
 std::vector<SynthesisResult> run_all_flows(const net::Network& input, int jobs) {
-    return {flow_bdsmaj(input, jobs), flow_bdspga(input, jobs), flow_abc(input),
-            flow_dc(input)};
+    return run_all_flows(input, FlowOptions{.jobs = jobs});
+}
+
+std::vector<std::vector<SynthesisResult>> run_suite(
+    const std::vector<net::Network>& inputs, const FlowOptions& options) {
+    std::vector<std::vector<SynthesisResult>> results(inputs.size());
+    FlowOptions per_circuit = options;
+    per_circuit.jobs = 1;  // the budget fans out across circuits instead
+    runtime::parallel_for(inputs.size(), runtime::effective_jobs(options.jobs),
+                          [&](std::size_t i, int /*worker*/) {
+                              // Between-circuit cancellation checkpoint; the
+                              // per-supernode checkpoints inside the BDS
+                              // decompositions cover long single circuits.
+                              if (options.cancel != nullptr &&
+                                  options.cancel->load(std::memory_order_relaxed)) {
+                                  throw decomp::FlowCancelled();
+                              }
+                              results[i] = run_all_flows(inputs[i], per_circuit);
+                          });
+    return results;
 }
 
 std::vector<std::vector<SynthesisResult>> run_suite(
     const std::vector<net::Network>& inputs, int jobs) {
-    std::vector<std::vector<SynthesisResult>> results(inputs.size());
-    runtime::parallel_for(inputs.size(), runtime::effective_jobs(jobs),
-                          [&](std::size_t i, int /*worker*/) {
-                              results[i] = run_all_flows(inputs[i]);
-                          });
-    return results;
+    return run_suite(inputs, FlowOptions{.jobs = jobs});
 }
 
 }  // namespace bdsmaj::flows

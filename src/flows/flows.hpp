@@ -9,6 +9,7 @@
 //   * DC      : commercial-style proxy — best-of multiple recipes at high
 //               area effort (see DESIGN.md §4 for the substitution rationale)
 
+#include <atomic>
 #include <string>
 
 #include "decomp/flow.hpp"
@@ -16,6 +17,22 @@
 #include "network/network.hpp"
 
 namespace bdsmaj::flows {
+
+/// Per-run knobs shared by the flow entry points.
+struct FlowOptions {
+    /// Worker budget for the supernode pipeline (DecompFlowParams::jobs
+    /// semantics: 1 = serial, <= 0 = all hardware threads); the result
+    /// does not depend on it.
+    int jobs = 1;
+    /// Decomposition strategy preset for the BDS flows (see
+    /// decomp::preset_catalog()); "paper" reproduces the published ladder
+    /// byte-for-byte. ABC/DC ignore it.
+    std::string preset = "paper";
+    /// Cooperative cancellation token, checked between supernodes inside
+    /// the BDS decomposition (decomp::FlowCancelled propagates out) and
+    /// between circuits in run_suite. Null = not cancellable.
+    const std::atomic<bool>* cancel = nullptr;
+};
 
 struct SynthesisResult {
     std::string flow_name;
@@ -29,9 +46,20 @@ struct SynthesisResult {
 /// The library shared by all flows (paper SV-B1).
 [[nodiscard]] const mapping::CellLibrary& default_library();
 
-/// The BDS flows take a worker budget for the supernode pipeline
-/// (DecompFlowParams::jobs semantics: 1 = serial, <= 0 = all hardware
-/// threads); the result does not depend on it. ABC and DC are serial.
+/// Flow-name decoration for non-default presets ("BDS-MAJ" ->
+/// "BDS-MAJ(exact-aggressive)"); shared by the flows and the CLI so the
+/// two never drift.
+[[nodiscard]] std::string decorated_flow_name(std::string base,
+                                              const std::string& preset);
+
+/// The BDS flows honor FlowOptions (worker budget, strategy preset,
+/// cancellation); the result depends only on the preset. ABC and DC are
+/// serial and preset-independent. The int overloads keep the historical
+/// jobs-only call sites working.
+[[nodiscard]] SynthesisResult flow_bdsmaj(const net::Network& input,
+                                          const FlowOptions& options);
+[[nodiscard]] SynthesisResult flow_bdspga(const net::Network& input,
+                                          const FlowOptions& options);
 [[nodiscard]] SynthesisResult flow_bdsmaj(const net::Network& input, int jobs = 1);
 [[nodiscard]] SynthesisResult flow_bdspga(const net::Network& input, int jobs = 1);
 [[nodiscard]] SynthesisResult flow_abc(const net::Network& input);
@@ -39,6 +67,8 @@ struct SynthesisResult {
 
 /// All four, in Table II column order. `jobs` is the BDS flows' worker
 /// budget; the results are identical at any setting.
+[[nodiscard]] std::vector<SynthesisResult> run_all_flows(const net::Network& input,
+                                                         const FlowOptions& options);
 [[nodiscard]] std::vector<SynthesisResult> run_all_flows(const net::Network& input,
                                                          int jobs = 1);
 
@@ -54,5 +84,7 @@ struct SynthesisResult {
 /// (flows/service.hpp).
 [[nodiscard]] std::vector<std::vector<SynthesisResult>> run_suite(
     const std::vector<net::Network>& inputs, int jobs = 1);
+[[nodiscard]] std::vector<std::vector<SynthesisResult>> run_suite(
+    const std::vector<net::Network>& inputs, const FlowOptions& options);
 
 }  // namespace bdsmaj::flows

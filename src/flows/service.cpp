@@ -1,5 +1,6 @@
 #include "flows/service.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <stdexcept>
@@ -23,11 +24,11 @@ FlowSel parse_flow(const std::string& name) {
 }
 
 std::vector<SynthesisResult> run_flows_one(const net::Network& input, FlowSel sel,
-                                           int jobs) {
+                                           const FlowOptions& options) {
     switch (sel) {
-        case FlowSel::kAll: return run_all_flows(input, jobs);
-        case FlowSel::kBdsMaj: return {flow_bdsmaj(input, jobs)};
-        case FlowSel::kBdsPga: return {flow_bdspga(input, jobs)};
+        case FlowSel::kAll: return run_all_flows(input, options);
+        case FlowSel::kBdsMaj: return {flow_bdsmaj(input, options)};
+        case FlowSel::kBdsPga: return {flow_bdspga(input, options)};
         case FlowSel::kAbc: return {flow_abc(input)};
         case FlowSel::kDc: return {flow_dc(input)};
     }
@@ -41,6 +42,11 @@ struct SynthesisService::Job {
     std::vector<net::Network> inputs;
     SynthesisJobParams params;
     std::promise<FlowResult> promise;
+    /// Cooperative cancellation token; shared with the flow layer while
+    /// the job runs. Heap-shared so cancel() can fire after execute()
+    /// already copied the pointer.
+    std::atomic<bool> cancel_requested{false};
+    std::uint64_t start_order = FlowResult::kNoStartOrder;
 };
 
 SynthesisService::SynthesisService(const ServiceParams& params)
@@ -51,14 +57,20 @@ SynthesisService::SynthesisService(const ServiceParams& params)
 
 SynthesisService::~SynthesisService() {
     std::unique_lock<std::mutex> lock(mutex_);
-    // Cancel everything still queued, then wait for the running jobs —
-    // their pool tasks capture `this` and must not outlive it. The pool
-    // itself is untouched.
-    for (const std::shared_ptr<Job>& job : queue_) {
-        ++cancelled_;
-        job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {}, 0.0});
+    // Cancel everything still queued and request cooperative stops of the
+    // running jobs, then wait for them — their pool tasks capture `this`
+    // and must not outlive it. The pool itself is untouched.
+    for (std::deque<std::shared_ptr<Job>>* lane : {&queue_high_, &queue_}) {
+        for (const std::shared_ptr<Job>& job : *lane) {
+            ++cancelled_;
+            job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {}, 0.0,
+                                              FlowResult::kNoStartOrder});
+        }
+        lane->clear();
     }
-    queue_.clear();
+    for (auto& [id, job] : running_jobs_) {
+        job->cancel_requested.store(true, std::memory_order_relaxed);
+    }
     idle_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
@@ -72,7 +84,8 @@ SynthesisService::Submission SynthesisService::enqueue(
     std::lock_guard<std::mutex> lock(mutex_);
     job->id = ++next_id_;
     submission.id = job->id;
-    queue_.push_back(std::move(job));
+    (params.priority == JobPriority::kHigh ? queue_high_ : queue_)
+        .push_back(std::move(job));
     pump_locked();
     return submission;
 }
@@ -90,9 +103,16 @@ SynthesisService::Submission SynthesisService::submit_suite(
 }
 
 void SynthesisService::pump_locked() {
-    while (!paused_ && running_ < max_concurrent_ && !queue_.empty()) {
-        std::shared_ptr<Job> job = queue_.front();
-        queue_.pop_front();
+    while (!paused_ && running_ < max_concurrent_ &&
+           (!queue_high_.empty() || !queue_.empty())) {
+        // The high lane drains completely before the normal lane is
+        // considered; each lane is FIFO on its own.
+        std::deque<std::shared_ptr<Job>>& lane =
+            queue_high_.empty() ? queue_ : queue_high_;
+        std::shared_ptr<Job> job = lane.front();
+        lane.pop_front();
+        job->start_order = next_start_order_++;
+        running_jobs_.emplace(job->id, job);
         ++running_;
         ++inflight_;
         pool_.submit([this, job] { execute(job); });
@@ -104,26 +124,38 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
     FlowResult out;
     out.job_id = job->id;
     out.status = JobStatus::kCompleted;
+    out.start_order = job->start_order;
     std::exception_ptr error;
     long networks = 0;
     long gates = 0;
     double area = 0.0;
     try {
         const FlowSel sel = parse_flow(job->params.flow);
+        FlowOptions options;
+        options.jobs = job->params.jobs;
+        options.preset = job->params.preset;
+        options.cancel = &job->cancel_requested;
         out.results.resize(job->inputs.size());
         if (job->inputs.size() <= 1) {
             // Single network: the whole budget goes to supernode-level
             // parallelism inside the pipelined flow.
             for (std::size_t i = 0; i < job->inputs.size(); ++i) {
-                out.results[i] = run_flows_one(job->inputs[i], sel, job->params.jobs);
+                out.results[i] = run_flows_one(job->inputs[i], sel, options);
             }
         } else {
             // Suite: the budget fans out across circuits; each circuit
             // runs its flows serially, exactly like flows::run_suite.
+            FlowOptions per_circuit = options;
+            per_circuit.jobs = 1;
             runtime::parallel_for(
                 job->inputs.size(), runtime::effective_jobs(job->params.jobs),
                 [&](std::size_t i, int /*worker*/) {
-                    out.results[i] = run_flows_one(job->inputs[i], sel, 1);
+                    // Between-circuit cancellation checkpoint (the flows
+                    // also check between supernodes).
+                    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+                        throw decomp::FlowCancelled();
+                    }
+                    out.results[i] = run_flows_one(job->inputs[i], sel, per_circuit);
                 });
         }
         out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
@@ -134,6 +166,10 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
                 area += r.mapped.area_um2;
             }
         }
+    } catch (const decomp::FlowCancelled&) {
+        out.status = JobStatus::kCancelled;
+        out.results.clear();
+        out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     } catch (...) {
         error = std::current_exception();
     }
@@ -142,8 +178,11 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
         // observed the future ready sees the job in stats() too.
         std::lock_guard<std::mutex> lock(mutex_);
         --running_;
+        running_jobs_.erase(job->id);
         if (error) {
             ++failed_;
+        } else if (out.status == JobStatus::kCancelled) {
+            ++cancelled_;
         } else {
             ++completed_;
             networks_synthesized_ += networks;
@@ -165,13 +204,23 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
 
 bool SynthesisService::cancel(JobId id) {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if ((*it)->id != id) continue;
-        const std::shared_ptr<Job> job = *it;
-        queue_.erase(it);
-        ++cancelled_;
-        idle_cv_.notify_all();  // the queue may just have drained
-        job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {}, 0.0});
+    for (std::deque<std::shared_ptr<Job>>* lane : {&queue_high_, &queue_}) {
+        for (auto it = lane->begin(); it != lane->end(); ++it) {
+            if ((*it)->id != id) continue;
+            const std::shared_ptr<Job> job = *it;
+            lane->erase(it);
+            ++cancelled_;
+            idle_cv_.notify_all();  // the queue may just have drained
+            job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {},
+                                              0.0, FlowResult::kNoStartOrder});
+            return true;
+        }
+    }
+    // Running: request a cooperative stop; the flow observes the token at
+    // its next checkpoint and the job resolves as kCancelled then.
+    const auto it = running_jobs_.find(id);
+    if (it != running_jobs_.end()) {
+        it->second->cancel_requested.store(true, std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -190,13 +239,16 @@ void SynthesisService::resume() {
 
 void SynthesisService::wait_idle() {
     std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+    idle_cv_.wait(lock, [this] {
+        return queue_.empty() && queue_high_.empty() && inflight_ == 0;
+    });
 }
 
 ServiceStats SynthesisService::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     ServiceStats s;
-    s.queued = static_cast<int>(queue_.size());
+    s.queued = static_cast<int>(queue_.size() + queue_high_.size());
+    s.queued_high = static_cast<int>(queue_high_.size());
     s.running = running_;
     s.completed = completed_;
     s.cancelled = cancelled_;

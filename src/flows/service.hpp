@@ -3,8 +3,9 @@
 // the synthesis flows — the serving shape of the BDS-MAJ pipeline.
 //
 // Callers submit jobs (one network, or a whole benchmark suite) and get a
-// std::future<FlowResult> back immediately. Jobs wait in a FIFO queue; at
-// most `max_concurrent_jobs` run at once, each as one task on the shared
+// std::future<FlowResult> back immediately. Jobs wait in two priority
+// lanes (kHigh drains before kNormal; FIFO within a lane); at most
+// `max_concurrent_jobs` run at once, each as one task on the shared
 // process pool (runtime::global_pool() unless a pool is injected). Inside
 // a job, the per-job `jobs` budget bounds how many pool runners the job
 // may occupy — supernode-level parallelism for single-network jobs,
@@ -20,13 +21,17 @@
 // deterministic at any budget. tests/flows/service_test.cpp pins BLIF
 // text, gate counts, and simulation signatures against jobs=1 serial runs.
 //
-// Lifecycle: cancel(id) removes a still-queued job (its future yields
-// status kCancelled); running jobs are never interrupted. pause() holds
-// admission (queued jobs stay queued; running ones finish) and resume()
-// releases it — the drain/maintenance switch, also what makes cancellation
-// deterministic to test. The destructor cancels everything still queued
-// and waits for running jobs to finish; the shared pool is untouched and
-// immediately reusable.
+// Lifecycle: cancel(id) removes a still-queued job immediately, and
+// requests cooperative cancellation of a running one — the job's token is
+// set and the flow stops at its next checkpoint (between supernodes
+// inside a BDS decomposition, between the flows of an "all" job, between
+// circuits in a suite; the ABC/DC passes themselves are not
+// interruptible); either way the future yields status kCancelled. pause() holds admission (queued
+// jobs stay queued; running ones finish) and resume() releases it — the
+// drain/maintenance switch, also what makes cancellation deterministic to
+// test. The destructor cancels everything still queued, requests
+// cancellation of running jobs, and waits for them; the shared pool is
+// untouched and immediately reusable.
 
 #include <cstdint>
 #include <deque>
@@ -35,6 +40,7 @@
 #include <mutex>
 #include <condition_variable>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "flows/flows.hpp"
@@ -43,6 +49,10 @@
 namespace bdsmaj::flows {
 
 enum class JobStatus { kQueued, kRunning, kCompleted, kCancelled, kFailed };
+
+/// Admission lane: kHigh jobs always dispatch before kNormal ones;
+/// within a lane admission stays FIFO.
+enum class JobPriority { kNormal, kHigh };
 
 struct SynthesisJobParams {
     /// Worker budget for this job on the shared pool: supernode-level for
@@ -54,6 +64,10 @@ struct SynthesisJobParams {
     /// "abc", "dc". An unknown name fails the job; the error surfaces on
     /// the future.
     std::string flow = "all";
+    /// Decomposition strategy preset for the BDS flows (see
+    /// decomp::preset_catalog()). An unknown name fails the job.
+    std::string preset = "paper";
+    JobPriority priority = JobPriority::kNormal;
 };
 
 struct FlowResult {
@@ -63,13 +77,20 @@ struct FlowResult {
     /// the single requested flow. Empty for cancelled jobs.
     std::vector<std::vector<SynthesisResult>> results;
     double seconds = 0.0;  ///< wall time of the job body (not queue wait)
+    /// 0-based dispatch sequence across the service lifetime: the order
+    /// jobs actually started running (what the priority lanes decide).
+    /// Meaningless (kNoStartOrder) for jobs cancelled while queued.
+    std::uint64_t start_order = kNoStartOrder;
+
+    static constexpr std::uint64_t kNoStartOrder = ~std::uint64_t{0};
 };
 
 struct ServiceStats {
-    int queued = 0;     ///< admitted to the FIFO, not yet running
+    int queued = 0;      ///< both lanes, not yet running
+    int queued_high = 0; ///< the kHigh-lane subset of `queued`
     int running = 0;
     int completed = 0;
-    int cancelled = 0;
+    int cancelled = 0;   ///< queued removals + cooperatively stopped runs
     int failed = 0;
     long networks_synthesized = 0;  ///< flow results across completed jobs
     long mapped_gates = 0;          ///< aggregate over those results
@@ -110,8 +131,12 @@ public:
     [[nodiscard]] Submission submit_suite(std::vector<net::Network> inputs,
                                           const SynthesisJobParams& params = {});
 
-    /// Remove a still-queued job; its future yields status kCancelled.
-    /// Returns false if the job is already running, finished, or unknown.
+    /// Cancel a job. Still-queued jobs are removed immediately (their
+    /// future yields status kCancelled at once). Running jobs get their
+    /// cancellation token set and stop cooperatively at the next flow
+    /// checkpoint — the future then yields kCancelled, unless the job
+    /// outraced the request and completed. Returns false only when the
+    /// job is already finished or unknown.
     bool cancel(JobId id);
 
     /// Hold admission: running jobs finish, queued jobs stay queued until
@@ -138,8 +163,12 @@ private:
 
     mutable std::mutex mutex_;
     std::condition_variable idle_cv_;
-    std::deque<std::shared_ptr<Job>> queue_;
+    std::deque<std::shared_ptr<Job>> queue_;       ///< kNormal lane
+    std::deque<std::shared_ptr<Job>> queue_high_;  ///< kHigh lane
+    /// Running jobs by id, for cooperative cancellation of in-flight work.
+    std::unordered_map<JobId, std::shared_ptr<Job>> running_jobs_;
     JobId next_id_ = 0;
+    std::uint64_t next_start_order_ = 0;
     int running_ = 0;
     int inflight_ = 0;  ///< dispatched pool tasks still touching `this`
     bool paused_ = false;

@@ -1,0 +1,241 @@
+// The strategy framework contract: the `paper` preset is byte-identical
+// to the pre-framework ladder (golden fingerprints captured from the
+// monolithic engine before the refactor), every preset passes the BDD
+// equivalence oracle on the MCNC suite, the exact-aggressive preset
+// strictly reduces mapped gate count, the NPN cache hit path equals the
+// enumeration path, and per-strategy step counts sum to total steps.
+
+#include "decomp/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchgen/suite.hpp"
+#include "decomp/flow.hpp"
+#include "flows/flows.hpp"
+#include "mapping/mapper.hpp"
+#include "network/blif.hpp"
+#include "network/builder.hpp"
+#include "network/simulate.hpp"
+#include "tt/truth_table.hpp"
+
+namespace bdsmaj::decomp {
+namespace {
+
+using net::Network;
+
+std::uint64_t fnv64(const std::string& s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+DecompFlowResult run_preset(const Network& input, const std::string& preset,
+                            int jobs = 1, bool use_majority = true) {
+    DecompFlowParams params;
+    params.engine.preset = preset;
+    params.engine.use_majority = use_majority;
+    params.jobs = jobs;
+    return decompose_network(input, params);
+}
+
+TEST(Strategy, PresetCatalogAndResolution) {
+    EXPECT_TRUE(is_known_preset("paper"));
+    EXPECT_TRUE(is_known_preset("bds-pga"));
+    EXPECT_TRUE(is_known_preset("exact-aggressive"));
+    EXPECT_FALSE(is_known_preset("nope"));
+    EXPECT_THROW((void)preset_pipeline("nope"), std::invalid_argument);
+    for (const PresetInfo& p : preset_catalog()) {
+        const StrategyPipelineConfig config = preset_pipeline(p.name);
+        ASSERT_FALSE(config.order.empty()) << p.name;
+        // Termination guarantee: Shannon is always present.
+        EXPECT_NE(std::find(config.order.begin(), config.order.end(),
+                            StrategyKind::kShannonMux),
+                  config.order.end())
+            << p.name;
+    }
+    // The paper preset is exactly the published ladder.
+    const StrategyPipelineConfig paper = preset_pipeline("paper");
+    ASSERT_EQ(paper.order.size(), 4u);
+    EXPECT_EQ(paper.order[0], StrategyKind::kMajority);
+    EXPECT_EQ(paper.order[1], StrategyKind::kSimpleDominator);
+    EXPECT_EQ(paper.order[2], StrategyKind::kGeneralizedXor);
+    EXPECT_EQ(paper.order[3], StrategyKind::kShannonMux);
+    EXPECT_EQ(paper.selection, SelectionMode::kFirstFit);
+}
+
+TEST(Strategy, UnknownPresetThrowsAtDecomposerConstruction) {
+    bdd::Manager mgr(2);
+    net::Network network;
+    net::HashedNetworkBuilder builder(network);
+    EngineParams params;
+    params.preset = "definitely-not-a-preset";
+    EXPECT_THROW(BddDecomposer(mgr, builder, {}, params), std::invalid_argument);
+}
+
+// Golden fingerprints of the pre-refactor monolithic engine (captured at
+// jobs=1 on the quick MCNC suite before the strategy framework landed):
+// {circuit, use_majority, total gates, MAJ gates, FNV-1a of the BLIF}.
+// The `paper` preset (and `bds-pga` via use_majority=false) must stay
+// byte-for-byte on this table.
+struct Golden {
+    const char* name;
+    bool use_majority;
+    int total_gates;
+    int maj_gates;
+    std::uint64_t blif_fnv;
+};
+constexpr Golden kGolden[] = {
+    {"alu2", true, 65, 4, 0x8ad2732e8caf97bdull},
+    {"alu2", false, 73, 0, 0x77f30ed2b6b1c721ull},
+    {"C6288", true, 224, 48, 0xa52394c7bb50f121ull},
+    {"C6288", false, 568, 0, 0xf2ec24e07903c353ull},
+    {"C1355", true, 169, 0, 0x3d5eb9fabeccf4ffull},
+    {"C1355", false, 169, 0, 0x3d5eb9fabeccf4ffull},
+    {"dalu", true, 329, 23, 0x0ec71c68c84217d1ull},
+    {"dalu", false, 437, 0, 0x80155b169f01b7e8ull},
+    {"apex6", true, 523, 2, 0x8727bebec75ed662ull},
+    {"apex6", false, 523, 0, 0xd19d0daff007eac2ull},
+    {"vda", true, 319, 7, 0x723394c318aa47ffull},
+    {"vda", false, 329, 0, 0xe9564e24e563f648ull},
+    {"f51m", true, 70, 12, 0x804dd2a44fdbf047ull},
+    {"f51m", false, 141, 0, 0xadecec664f6c4b90ull},
+    {"misex3", true, 361, 4, 0xbae70c97bfa6a89full},
+    {"misex3", false, 387, 0, 0x336057250c98d641ull},
+    {"seq", true, 1791, 37, 0x4634b971ffa297baull},
+    {"seq", false, 1867, 0, 0xa6235bb93fb3d521ull},
+    {"bigkey", true, 1040, 84, 0x2eb1a0a5d0ec71bdull},
+    {"bigkey", false, 1571, 0, 0x555623a3c619d690ull},
+};
+
+TEST(Strategy, PaperPresetIsByteIdenticalToPreRefactorEngine) {
+    for (const Golden& g : kGolden) {
+        const Network input = benchgen::benchmark_by_name(g.name, /*quick=*/true);
+        for (const int jobs : {1, 4}) {
+            const DecompFlowResult r =
+                run_preset(input, "paper", jobs, g.use_majority);
+            const net::NetworkStats s = r.network.stats();
+            EXPECT_EQ(s.total(), g.total_gates)
+                << g.name << " maj=" << g.use_majority << " jobs=" << jobs;
+            EXPECT_EQ(s.maj_nodes, g.maj_gates)
+                << g.name << " maj=" << g.use_majority << " jobs=" << jobs;
+            EXPECT_EQ(fnv64(net::write_blif(r.network)), g.blif_fnv)
+                << g.name << " maj=" << g.use_majority << " jobs=" << jobs
+                << ": BLIF drifted from the pre-refactor engine";
+        }
+    }
+}
+
+TEST(Strategy, EveryPresetPassesTheEquivalenceOracleOnMcnc) {
+    for (const benchgen::BenchmarkCase& bc : benchgen::table_suite(/*quick=*/true)) {
+        if (!bc.is_mcnc) continue;
+        for (const PresetInfo& p : preset_catalog()) {
+            const DecompFlowResult r = run_preset(bc.network, p.name);
+            EXPECT_TRUE(net::check_equivalent(bc.network, r.network).equivalent)
+                << bc.name << " preset " << p.name;
+        }
+    }
+}
+
+TEST(Strategy, PresetsAreDeterministicAcrossJobCounts) {
+    // Determinism is a pipeline property, not a paper-ladder one: the new
+    // presets must be byte-identical at any worker count too.
+    const Network input = benchgen::benchmark_by_name("dalu", /*quick=*/true);
+    for (const char* preset : {"exact-aggressive", "best-cost"}) {
+        const DecompFlowResult serial = run_preset(input, preset, 1);
+        const DecompFlowResult parallel = run_preset(input, preset, 8);
+        EXPECT_EQ(net::write_blif(serial.network), net::write_blif(parallel.network))
+            << preset;
+    }
+}
+
+TEST(Strategy, ExactAggressiveStrictlyReducesMappedGates) {
+    // The acceptance bar: summed over the MCNC suite, the exact-aggressive
+    // preset must map to strictly fewer gates than the paper ladder.
+    long paper_gates = 0;
+    long exact_gates = 0;
+    EngineStats exact_stats;
+    for (const benchgen::BenchmarkCase& bc : benchgen::table_suite(/*quick=*/true)) {
+        if (!bc.is_mcnc) continue;
+        const DecompFlowResult paper = run_preset(bc.network, "paper");
+        const DecompFlowResult exact = run_preset(bc.network, "exact-aggressive");
+        paper_gates +=
+            mapping::map_network(paper.network, flows::default_library()).gate_count;
+        exact_gates +=
+            mapping::map_network(exact.network, flows::default_library()).gate_count;
+        exact_stats += exact.engine_stats;
+    }
+    EXPECT_LT(exact_gates, paper_gates);
+    EXPECT_GT(exact_stats.exact_steps, 0);
+    EXPECT_GT(exact_stats.npn_cache_hits + exact_stats.npn_cache_misses, 0)
+        << "cache activity must be reported in EngineStats";
+}
+
+TEST(Strategy, NpnCacheHitPathEqualsEnumerationPath) {
+    // Two identical runs: whatever mix of misses (first touch) and hits
+    // (cache already warm) each run sees, the emitted networks must be
+    // byte-identical — the cached program IS the enumerated program.
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    const DecompFlowResult first = run_preset(input, "exact-aggressive");
+    const DecompFlowResult second = run_preset(input, "exact-aggressive");
+    EXPECT_EQ(net::write_blif(first.network), net::write_blif(second.network));
+    EXPECT_EQ(first.engine_stats.exact_steps, second.engine_stats.exact_steps);
+    // The second run touches only classes the first already materialized.
+    EXPECT_EQ(second.engine_stats.npn_cache_misses, 0);
+    EXPECT_EQ(second.engine_stats.npn_cache_hits,
+              first.engine_stats.npn_cache_hits +
+                  first.engine_stats.npn_cache_misses);
+}
+
+TEST(Strategy, PerStrategyStepsSumToTotalSteps) {
+    for (const PresetInfo& p : preset_catalog()) {
+        const Network input = benchgen::benchmark_by_name("alu2", /*quick=*/true);
+        const DecompFlowResult r = run_preset(input, p.name);
+        const EngineStats& e = r.engine_stats;
+        int summed = 0;
+        for (const StrategyKind kind :
+             {StrategyKind::kExactSmallCone, StrategyKind::kMajority,
+              StrategyKind::kSimpleDominator, StrategyKind::kGeneralizedXor,
+              StrategyKind::kShannonMux}) {
+            const int steps = e.steps_for(kind);
+            ASSERT_GE(steps, 0) << p.name;
+            summed += steps;
+        }
+        EXPECT_EQ(summed, e.total_steps()) << p.name;
+        EXPECT_GT(e.total_steps(), 0) << p.name;
+    }
+}
+
+TEST(Strategy, PresetPlumbsThroughTheFlowLayer) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    flows::FlowOptions options;
+    options.preset = "exact-aggressive";
+    const flows::SynthesisResult flow = flows::flow_bdsmaj(input, options);
+    EXPECT_EQ(flow.flow_name, "BDS-MAJ(exact-aggressive)");
+    EXPECT_GT(flow.engine_stats.exact_steps, 0);
+    const DecompFlowResult direct = run_preset(input, "exact-aggressive");
+    EXPECT_EQ(net::write_blif(flow.optimized), net::write_blif(direct.network));
+    // Default options keep the historical name and the paper ladder.
+    const flows::SynthesisResult paper = flows::flow_bdsmaj(input, 1);
+    EXPECT_EQ(paper.flow_name, "BDS-MAJ");
+    EXPECT_EQ(paper.engine_stats.exact_steps, 0);
+}
+
+TEST(Strategy, UseMajorityFalseStripsTheMajorityStage) {
+    // use_majority=false on the paper preset IS the bds-pga preset.
+    const Network input = benchgen::benchmark_by_name("alu2", /*quick=*/true);
+    const DecompFlowResult stripped = run_preset(input, "paper", 1, false);
+    const DecompFlowResult pga = run_preset(input, "bds-pga");
+    EXPECT_EQ(net::write_blif(stripped.network), net::write_blif(pga.network));
+    EXPECT_EQ(pga.engine_stats.maj_steps, 0);
+    EXPECT_EQ(pga.engine_stats.maj_attempts, 0);
+}
+
+}  // namespace
+}  // namespace bdsmaj::decomp

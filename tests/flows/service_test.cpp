@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchgen/suite.hpp"
@@ -243,6 +245,158 @@ TEST(SynthesisService, UnknownFlowFailsTheJobViaTheFuture) {
     // The failure must not poison the service.
     SynthesisService::Submission ok = service.submit(input, {});
     EXPECT_EQ(ok.result.get().status, JobStatus::kCompleted);
+}
+
+TEST(SynthesisService, HighPriorityLaneDrainsFirst) {
+    // Paused admission makes dispatch order deterministic: with a single
+    // slot, the high-lane job must start before earlier-submitted normal
+    // ones, and FIFO order must hold within each lane. start_order records
+    // the dispatch sequence.
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    ServiceParams sp;
+    sp.max_concurrent_jobs = 1;
+    sp.start_paused = true;
+    SynthesisService service(sp);
+
+    SynthesisJobParams normal;
+    normal.flow = "bdspga";
+    SynthesisJobParams high = normal;
+    high.priority = JobPriority::kHigh;
+
+    SynthesisService::Submission n1 = service.submit(input, normal);
+    SynthesisService::Submission n2 = service.submit(input, normal);
+    SynthesisService::Submission h1 = service.submit(input, high);
+    SynthesisService::Submission h2 = service.submit(input, high);
+    {
+        const ServiceStats st = service.stats();
+        EXPECT_EQ(st.queued, 4);
+        EXPECT_EQ(st.queued_high, 2);
+    }
+    service.resume();
+    const FlowResult rn1 = n1.result.get();
+    const FlowResult rn2 = n2.result.get();
+    const FlowResult rh1 = h1.result.get();
+    const FlowResult rh2 = h2.result.get();
+    EXPECT_EQ(rh1.start_order, 0u);
+    EXPECT_EQ(rh2.start_order, 1u);
+    EXPECT_EQ(rn1.start_order, 2u);
+    EXPECT_EQ(rn2.start_order, 3u);
+    for (const FlowResult* r : {&rn1, &rn2, &rh1, &rh2}) {
+        EXPECT_EQ(r->status, JobStatus::kCompleted);
+    }
+}
+
+TEST(SynthesisService, HighPriorityJobCancellableWhileQueued) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    ServiceParams sp;
+    sp.start_paused = true;
+    SynthesisService service(sp);
+    SynthesisJobParams high;
+    high.priority = JobPriority::kHigh;
+    SynthesisService::Submission sub = service.submit(input, high);
+    EXPECT_TRUE(service.cancel(sub.id));
+    EXPECT_EQ(sub.result.get().status, JobStatus::kCancelled);
+    EXPECT_EQ(service.stats().queued_high, 0);
+}
+
+TEST(SynthesisService, RunningJobStopsAtNextCheckpoint) {
+    // Deterministic cooperative cancellation: decompose_network observes a
+    // pre-set token at its first per-supernode checkpoint.
+    const Network input = benchgen::benchmark_by_name("dalu", /*quick=*/true);
+    std::atomic<bool> token{true};
+    decomp::DecompFlowParams params;
+    params.cancel = &token;
+    EXPECT_THROW((void)decomp::decompose_network(input, params),
+                 decomp::FlowCancelled);
+    // Parallel path checkpoints too.
+    params.jobs = 4;
+    EXPECT_THROW((void)decomp::decompose_network(input, params),
+                 decomp::FlowCancelled);
+    // An unset token changes nothing.
+    token.store(false);
+    params.jobs = 1;
+    const decomp::DecompFlowResult r = decomp::decompose_network(input, params);
+    EXPECT_TRUE(net::check_equivalent(input, r.network).equivalent);
+}
+
+TEST(SynthesisService, CancelOfRunningJobYieldsCancelledStatus) {
+    // A big suite job (every MCNC circuit, serial budget) gives the
+    // cancel request a wide window of between-circuit checkpoints; the
+    // race is inherently timing-dependent, so accept the job outracing
+    // the request, but whatever the future reports must match stats().
+    const std::vector<Network> inputs = mcnc_inputs(10);
+    ServiceParams sp;
+    sp.max_concurrent_jobs = 1;
+    SynthesisService service(sp);
+    SynthesisJobParams jp;
+    jp.flow = "bdsmaj";
+    SynthesisService::Submission sub = service.submit_suite(inputs, jp);
+    // Wait until the job is actually running, then request cancellation.
+    while (service.stats().running == 0 && service.stats().completed == 0) {
+        std::this_thread::yield();
+    }
+    const bool accepted = service.cancel(sub.id);
+    const FlowResult r = sub.result.get();
+    service.wait_idle();
+    const ServiceStats st = service.stats();
+    if (r.status == JobStatus::kCancelled) {
+        EXPECT_TRUE(accepted);
+        EXPECT_TRUE(r.results.empty());
+        EXPECT_EQ(st.cancelled, 1);
+        EXPECT_EQ(st.completed, 0);
+    } else {
+        EXPECT_EQ(r.status, JobStatus::kCompleted);
+        EXPECT_EQ(st.completed, 1);
+    }
+    // Either way the service stays usable.
+    SynthesisService::Submission again = service.submit(inputs[0], {});
+    EXPECT_EQ(again.result.get().status, JobStatus::kCompleted);
+}
+
+TEST(SynthesisService, DestructorRequestsStopOfRunningJobs) {
+    // Destroying the service while a big suite job runs must request a
+    // cooperative stop and still wait for the task to unwind cleanly.
+    const std::vector<Network> inputs = mcnc_inputs(10);
+    std::future<FlowResult> orphan;
+    {
+        ServiceParams sp;
+        sp.max_concurrent_jobs = 1;
+        SynthesisService service(sp);
+        SynthesisJobParams jp;
+        jp.flow = "bdsmaj";
+        SynthesisService::Submission sub = service.submit_suite(inputs, jp);
+        while (service.stats().running == 0 && service.stats().completed == 0) {
+            std::this_thread::yield();
+        }
+        orphan = std::move(sub.result);
+    }
+    const FlowResult r = orphan.get();
+    EXPECT_TRUE(r.status == JobStatus::kCancelled ||
+                r.status == JobStatus::kCompleted);
+}
+
+TEST(SynthesisService, PresetJobsMatchDirectPresetRuns) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    FlowOptions options;
+    options.preset = "exact-aggressive";
+    const SynthesisResult direct = flow_bdsmaj(input, options);
+
+    SynthesisService service;
+    SynthesisJobParams jp;
+    jp.flow = "bdsmaj";
+    jp.preset = "exact-aggressive";
+    SynthesisService::Submission sub = service.submit(input, jp);
+    const FlowResult r = sub.result.get();
+    EXPECT_EQ(r.status, JobStatus::kCompleted);
+    const SynthesisResult& via_service = r.results.at(0).at(0);
+    EXPECT_EQ(via_service.flow_name, "BDS-MAJ(exact-aggressive)");
+    ASSERT_EQ(net::write_blif(direct.optimized), net::write_blif(via_service.optimized));
+    EXPECT_GT(via_service.engine_stats.exact_steps, 0);
+    // Unknown presets fail the job through the future, like unknown flows.
+    SynthesisJobParams bad;
+    bad.preset = "nosuchpreset";
+    SynthesisService::Submission bad_sub = service.submit(input, bad);
+    EXPECT_THROW(bad_sub.result.get(), std::invalid_argument);
 }
 
 TEST(SynthesisService, StatsAggregateGateCounts) {

@@ -3,6 +3,10 @@
 //   bdsmaj_cli [options] <input.blif | @benchmark-name>
 //
 //   --flow bdsmaj|bdspga|abc|dc   synthesis flow (default bdsmaj)
+//   --preset NAME                 decomposition strategy preset for the
+//                                 BDS flows ("paper" default; see
+//                                 --list-presets); works in --batch too
+//   --list-presets                print the preset catalog and exit
 //   --out FILE                    write the optimized network as BLIF
 //   --map-out FILE                write the mapped netlist as BLIF
 //   --no-maj                      shorthand for --flow bdspga
@@ -13,7 +17,8 @@
 //                                 output is identical at any setting
 //   --quick                       reduced widths for @benchmarks
 //   --verify                      equivalence-check outputs (default on)
-//   --quiet                       only print the summary line
+//   --quiet                       only print the summary line (suppresses
+//                                 the per-strategy engine step counts)
 //
 // Batch service mode (multiple inputs through flows::SynthesisService on
 // the shared process pool):
@@ -22,9 +27,10 @@
 //                                 print results in submission order (also
 //                                 implied by giving more than one input).
 //                                 --flow additionally accepts "all" here
-//                                 (all four Table II flows per input); the
-//                                 engine tuning flags above are rejected —
-//                                 the service runs the default engine
+//                                 (all four Table II flows per input) and
+//                                 --preset is carried per job; the engine
+//                                 tuning flags above are rejected — the
+//                                 service runs the default engine
 //   --pool N                      shared-pool thread count (otherwise the
 //                                 BDSMAJ_JOBS env var / all cores)
 //   --max-jobs N                  jobs admitted concurrently (default:
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "benchgen/suite.hpp"
+#include "decomp/strategy.hpp"
 #include "flows/flows.hpp"
 #include "flows/service.hpp"
 #include "network/blif.hpp"
@@ -54,6 +61,7 @@ using namespace bdsmaj;
 
 struct Options {
     std::string flow = "bdsmaj";
+    std::string preset = "paper";
     std::vector<std::string> inputs;
     std::optional<std::string> out;
     std::optional<std::string> map_out;
@@ -75,12 +83,21 @@ struct Options {
 int usage() {
     std::fprintf(stderr,
                  "usage: bdsmaj_cli [--flow bdsmaj|bdspga|abc|dc] [--out f.blif]\n"
+                 "                  [--preset NAME] [--list-presets]\n"
                  "                  [--map-out f.blif] [--no-maj] [--no-reorder]\n"
                  "                  [--k-local F] [--k-global F] [--iterations N]\n"
                  "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
                  "                  [--batch] [--pool N] [--max-jobs N]\n"
                  "                  <input.blif | @benchmark> [more inputs in batch mode]\n");
     return 2;
+}
+
+int list_presets() {
+    std::printf("decomposition strategy presets (--preset NAME):\n");
+    for (const decomp::PresetInfo& p : decomp::preset_catalog()) {
+        std::printf("  %-18s %s\n", p.name.c_str(), p.description.c_str());
+    }
+    return 0;
 }
 
 net::Network load_input(const std::string& name, bool quick) {
@@ -99,6 +116,23 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
         std::printf("  decomposed: AND=%d OR=%d XOR=%d XNOR=%d MAJ=%d total=%d\n",
                     s.and_nodes, s.or_nodes, s.xor_nodes, s.xnor_nodes, s.maj_nodes,
                     s.total());
+        // Per-strategy engine step counts (BDS flows only; ABC/DC have no
+        // engine activity).
+        const decomp::EngineStats& e = result.engine_stats;
+        if (e.total_steps() + e.literal_leaves > 0) {
+            std::printf("  engine steps: exact=%d maj=%d simple=%d gen-xor=%d "
+                        "shannon=%d (total %d, literals %d)\n",
+                        e.steps_for(decomp::StrategyKind::kExactSmallCone),
+                        e.steps_for(decomp::StrategyKind::kMajority),
+                        e.steps_for(decomp::StrategyKind::kSimpleDominator),
+                        e.steps_for(decomp::StrategyKind::kGeneralizedXor),
+                        e.steps_for(decomp::StrategyKind::kShannonMux),
+                        e.total_steps(), e.literal_leaves);
+            if (e.npn_cache_hits + e.npn_cache_misses > 0) {
+                std::printf("  npn cache: hits=%lld misses=%lld\n", e.npn_cache_hits,
+                            e.npn_cache_misses);
+            }
+        }
     }
     std::printf("%s: area=%.2fum2 gates=%d delay=%.3fns opt_time=%.3fs%s\n",
                 input.model_name().c_str(), result.mapped.area_um2,
@@ -152,6 +186,7 @@ int run_batch(const Options& opt) {
     flows::SynthesisJobParams jp;
     jp.jobs = opt.jobs;
     jp.flow = opt.flow;
+    jp.preset = opt.preset;
 
     std::vector<flows::SynthesisService::Submission> submissions;
     submissions.reserve(inputs.size());
@@ -201,6 +236,12 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.flow = v;
+        } else if (arg == "--preset") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.preset = v;
+        } else if (arg == "--list-presets") {
+            return list_presets();
         } else if (arg == "--out") {
             const char* v = next();
             if (v == nullptr) return usage();
@@ -257,6 +298,16 @@ int main(int argc, char** argv) {
         }
     }
     if (opt.inputs.empty()) return usage();
+    if (!decomp::is_known_preset(opt.preset)) {
+        std::fprintf(stderr, "unknown preset \"%s\"; --list-presets shows the "
+                             "catalog\n", opt.preset.c_str());
+        return 2;
+    }
+    if (opt.preset != "paper" && (opt.flow == "abc" || opt.flow == "dc")) {
+        std::fprintf(stderr, "--preset only applies to the BDS flows "
+                             "(bdsmaj/bdspga/all)\n");
+        return 2;
+    }
     if (opt.batch || opt.inputs.size() > 1) return run_batch(opt);
 
     if (opt.pool > 0) runtime::configure_global_pool(opt.pool);
@@ -277,10 +328,12 @@ int main(int argc, char** argv) {
         decomp::DecompFlowParams params;
         params.engine.use_majority = opt.flow == "bdsmaj";
         params.engine.maj = opt.maj;
+        params.engine.preset = opt.preset;
         params.reorder = opt.reorder;
         params.jobs = opt.jobs;
         decomp::DecompFlowResult d = decomp::decompose_network(input, params);
-        result.flow_name = opt.flow == "bdsmaj" ? "BDS-MAJ" : "BDS-PGA";
+        result.flow_name = flows::decorated_flow_name(
+            opt.flow == "bdsmaj" ? "BDS-MAJ" : "BDS-PGA", opt.preset);
         result.engine_stats = d.engine_stats;
         result.optimized = std::move(d.network);
         result.optimized_stats = result.optimized.stats();

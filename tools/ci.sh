@@ -99,6 +99,45 @@ elif not scaling["fingerprints_identical"]:
     failures.append("thread_scaling: output fingerprints drift across job "
                     f"counts:\n  levels {scaling['levels']}")
 
+# Strategy presets: the `paper` preset is contractually byte-identical to
+# the published ladder — its decomposed/mapped gate counts and engine-step
+# fingerprint must match the committed reference exactly (npn cache
+# telemetry is process-history dependent and deliberately outside the
+# fingerprint). Every preset must pass the equivalence oracle, and
+# `exact-aggressive` must strictly beat `paper` on mapped gates.
+presets = fresh.get("preset_sweep")
+if presets is None:
+    failures.append("preset_sweep: section missing from fresh bench run")
+else:
+    fresh_by_name = {e["preset"]: e for e in presets["entries"]}
+    committed_presets = committed.get("preset_sweep")
+    if committed_presets is None:
+        failures.append("preset_sweep: section missing from committed "
+                        "smoke_reference — regenerate BENCH_core.json")
+    else:
+        for e in committed_presets["entries"]:
+            got = fresh_by_name.get(e["preset"])
+            if got is None:
+                failures.append(f"preset_sweep: preset {e['preset']} missing "
+                                "from fresh run")
+            elif e["preset"] == "paper" and got["fingerprint"] != e["fingerprint"]:
+                failures.append("preset_sweep: `paper` fingerprint drifted — the "
+                                "default pipeline no longer matches the published "
+                                f"ladder:\n  committed {e['fingerprint']}"
+                                f"\n  fresh     {got['fingerprint']}")
+    for e in presets["entries"]:
+        if e["equivalent"] != presets["circuits"]:
+            failures.append(f"preset_sweep: preset {e['preset']} failed the "
+                            f"equivalence oracle ({e['equivalent']}/"
+                            f"{presets['circuits']})")
+    paper = fresh_by_name.get("paper")
+    exact = fresh_by_name.get("exact-aggressive")
+    if paper and exact and not (exact["fingerprint"]["mapped_gates"]
+                                < paper["fingerprint"]["mapped_gates"]):
+        failures.append("preset_sweep: exact-aggressive no longer strictly "
+                        f"reduces mapped gates ({exact['fingerprint']['mapped_gates']}"
+                        f" vs paper {paper['fingerprint']['mapped_gates']})")
+
 # Async service determinism: concurrent SynthesisService jobs must produce
 # the same aggregate fingerprint as the serial table2 sweep, and every
 # submitted job must complete.
