@@ -5,7 +5,10 @@
 //   * core ops   — top-level ITE / AND / XOR / MAJ calls per second over a
 //                  deterministic pool of random functions (mixed cold/warm:
 //                  exactly what the decomposition engine sees);
-//   * sift       — nodes per second through Rudell sifting;
+//   * reorder    — nodes per second through Rudell sifting, swap/skip/
+//                  lower-bound-abort telemetry, and a post-sift node-count
+//                  fingerprint per MCNC circuit (the final variable order
+//                  must not drift when reordering gets faster);
 //   * table2     — end-to-end Table II synthesis (quick widths): all four
 //                  flows plus equivalence checks, the same work
 //                  bench/table2_synthesis.cpp does;
@@ -158,25 +161,85 @@ OpsResult bench_core_ops(int rounds) {
 }
 
 // ---------------------------------------------------------------------------
-// Sifting throughput (nodes processed per second).
+// Reordering: sift throughput, swap/skip/abort telemetry, and a post-sift
+// node-count fingerprint per MCNC circuit (tools/ci.sh fails on drift —
+// reordering speedups must not move the orders they produce).
 // ---------------------------------------------------------------------------
 
-double bench_sift(int reps) {
-    constexpr int kVars = 14;
-    std::mt19937_64 rng(13);
-    const tt::TruthTable t = tt::TruthTable::random(kVars, rng);
-    double total_seconds = 0;
-    long total_nodes = 0;
-    for (int r = 0; r < reps; ++r) {
-        bdd::Manager mgr(kVars);
-        const bdd::Bdd f = mgr.from_truth_table(t);
-        total_nodes += static_cast<long>(mgr.live_node_count());
-        const auto start = Clock::now();
-        mgr.sift();
-        total_seconds += seconds_since(start);
-        if (!f.valid()) std::abort();
+struct ReorderBenchResult {
+    double sift_nodes_per_sec = 0;
+    // Aggregate over the throughput reps AND the MCNC sweep below.
+    std::uint64_t swaps = 0;
+    std::uint64_t fast_swaps = 0;
+    std::uint64_t lb_aborts = 0;
+    std::uint64_t lb_saved_swaps = 0;
+    std::uint64_t growth_aborts = 0;
+    /// Fraction of attempted swap work avoided (label-only exchanges plus
+    /// swaps the lower bound proved unnecessary), MCNC sweep only.
+    double mcnc_skipped_or_pruned = 0;
+    struct CircuitFingerprint {
+        std::string name;
+        long post_sift_nodes = 0;
+    };
+    std::vector<CircuitFingerprint> circuits;
+};
+
+ReorderBenchResult bench_reorder(int reps) {
+    ReorderBenchResult out;
+    const auto add_stats = [&out](const bdd::ReorderStats& rs) {
+        out.swaps += rs.swaps;
+        out.fast_swaps += rs.fast_swaps;
+        out.lb_aborts += rs.lb_aborts;
+        out.lb_saved_swaps += rs.lb_saved_swaps;
+        out.growth_aborts += rs.growth_aborts;
+    };
+
+    // Throughput: the historical 14-variable random-function workload, so
+    // sift_nodes_per_sec stays comparable across the committed trajectory.
+    {
+        constexpr int kVars = 14;
+        std::mt19937_64 rng(13);
+        const tt::TruthTable t = tt::TruthTable::random(kVars, rng);
+        double total_seconds = 0;
+        long total_nodes = 0;
+        for (int r = 0; r < reps; ++r) {
+            bdd::Manager mgr(kVars);
+            const bdd::Bdd f = mgr.from_truth_table(t);
+            total_nodes += static_cast<long>(mgr.live_node_count());
+            const auto start = Clock::now();
+            mgr.sift();
+            total_seconds += seconds_since(start);
+            if (!f.valid()) std::abort();
+            add_stats(mgr.reorder_stats());
+        }
+        out.sift_nodes_per_sec = static_cast<double>(total_nodes) / total_seconds;
     }
-    return static_cast<double>(total_nodes) / total_seconds;
+
+    // MCNC sweep: global output BDDs per circuit, sifted once; the
+    // post-sift live node count fingerprints the final variable order.
+    // dalu is excluded: its monolithic BDD explodes in input order (the
+    // pathology the supernode partitioning exists to avoid), so a global
+    // build never finishes; every other MCNC case is tractable.
+    std::uint64_t mcnc_swaps = 0, mcnc_avoided = 0;
+    for (const benchgen::BenchmarkCase& bc : benchgen::table_suite(/*quick=*/true)) {
+        if (!bc.is_mcnc || bc.name == "dalu") continue;
+        bdd::Manager mgr(static_cast<int>(bc.network.inputs().size()));
+        const std::vector<bdd::Bdd> roots = net::network_to_bdds(bc.network, mgr);
+        mgr.sift();
+        if (roots.empty()) std::abort();
+        out.circuits.push_back(
+            {bc.name, static_cast<long>(mgr.live_node_count())});
+        const bdd::ReorderStats& rs = mgr.reorder_stats();
+        add_stats(rs);
+        mcnc_swaps += rs.swaps;
+        mcnc_avoided += rs.fast_swaps + rs.lb_saved_swaps;
+    }
+    const std::uint64_t attempted = mcnc_swaps + mcnc_avoided;
+    out.mcnc_skipped_or_pruned =
+        attempted == 0 ? 0.0
+                       : static_cast<double>(mcnc_avoided) /
+                             static_cast<double>(attempted);
+    return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -473,9 +536,15 @@ int main(int argc, char** argv) {
                 ops.ite_ops_per_sec, ops.and_ops_per_sec, ops.xor_ops_per_sec,
                 ops.maj_ops_per_sec);
 
-    std::printf("bench_core: sifting (%d reps)...\n", sift_reps);
-    const double sift_nps = bench_sift(sift_reps);
-    std::printf("  %.0f nodes/s\n", sift_nps);
+    std::printf("bench_core: reordering (%d reps + MCNC sweep)...\n", sift_reps);
+    const ReorderBenchResult ro = bench_reorder(sift_reps);
+    std::printf("  %.0f nodes/s, swaps %llu (fast %llu, lb-saved %llu), "
+                "MCNC avoided %.0f%%\n",
+                ro.sift_nodes_per_sec,
+                static_cast<unsigned long long>(ro.swaps),
+                static_cast<unsigned long long>(ro.fast_swaps),
+                static_cast<unsigned long long>(ro.lb_saved_swaps),
+                100.0 * ro.mcnc_skipped_or_pruned);
 
     std::printf("bench_core: table2 end-to-end (quick%s)...\n",
                 smoke ? ", smoke subset" : "");
@@ -490,6 +559,17 @@ int main(int argc, char** argv) {
                 ab.equivalent, ab.runs, ab.total_nodes, ab.maj_nodes);
 
     const unsigned hw_threads = std::thread::hardware_concurrency();
+    const bool single_threaded = hw_threads <= 1;
+    if (single_threaded) {
+        std::printf("WARNING: this container exposes 1 hardware thread — the "
+                    "thread_scaling and\n"
+                    "WARNING: service_throughput numbers below measure "
+                    "scheduling overhead, not\n"
+                    "WARNING: speedup (fingerprint determinism is still "
+                    "meaningful). Re-measure on\n"
+                    "WARNING: a multi-core machine before quoting scaling "
+                    "results.\n");
+    }
     std::printf("bench_core: thread scaling (jobs 1/2/4, %u hw thread%s)...\n",
                 hw_threads, hw_threads == 1 ? "" : "s");
     const ScalingResult sc = bench_thread_scaling(smoke);
@@ -532,15 +612,41 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v5\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v6\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    // Honesty marker: on a 1-hardware-thread container the scaling and
+    // service sections can only demonstrate determinism, never speedup.
+    std::fprintf(f, "  \"single_threaded_container\": %s,\n",
+                 single_threaded ? "true" : "false");
     std::fprintf(f, "  \"ops_per_sec\": {\n");
     std::fprintf(f, "    \"ite\": %.1f,\n", ops.ite_ops_per_sec);
     std::fprintf(f, "    \"and\": %.1f,\n", ops.and_ops_per_sec);
     std::fprintf(f, "    \"xor\": %.1f,\n", ops.xor_ops_per_sec);
     std::fprintf(f, "    \"maj\": %.1f\n", ops.maj_ops_per_sec);
     std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"sift_nodes_per_sec\": %.1f,\n", sift_nps);
+    std::fprintf(f, "  \"sift_nodes_per_sec\": %.1f,\n", ro.sift_nodes_per_sec);
+    std::fprintf(f, "  \"reorder\": {\n");
+    std::fprintf(f, "    \"sift_nodes_per_sec\": %.1f,\n", ro.sift_nodes_per_sec);
+    std::fprintf(f, "    \"swaps\": %llu,\n",
+                 static_cast<unsigned long long>(ro.swaps));
+    std::fprintf(f, "    \"fast_swaps\": %llu,\n",
+                 static_cast<unsigned long long>(ro.fast_swaps));
+    std::fprintf(f, "    \"lb_aborts\": %llu,\n",
+                 static_cast<unsigned long long>(ro.lb_aborts));
+    std::fprintf(f, "    \"lb_saved_swaps\": %llu,\n",
+                 static_cast<unsigned long long>(ro.lb_saved_swaps));
+    std::fprintf(f, "    \"growth_aborts\": %llu,\n",
+                 static_cast<unsigned long long>(ro.growth_aborts));
+    std::fprintf(f, "    \"mcnc_skipped_or_pruned_fraction\": %.4f,\n",
+                 ro.mcnc_skipped_or_pruned);
+    std::fprintf(f, "    \"post_sift_nodes\": [\n");
+    for (std::size_t i = 0; i < ro.circuits.size(); ++i) {
+        std::fprintf(f, "      {\"name\": \"%s\", \"nodes\": %ld}%s\n",
+                     ro.circuits[i].name.c_str(), ro.circuits[i].post_sift_nodes,
+                     i + 1 < ro.circuits.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"table2_synthesis\": {\n");
     std::fprintf(f, "    \"seconds\": %.3f,\n", t2.seconds);
     std::fprintf(f, "    \"circuits\": %d,\n", t2.circuits);

@@ -100,7 +100,28 @@ struct ManagerParams {
     std::size_t cache_max_size_log2 = 23;  ///< growth ceiling (2^k entries)
     std::size_t gc_dead_threshold = 1u << 14;  ///< auto-GC when this many dead
     double sift_max_growth = 1.25;      ///< abort a sift direction beyond this
-    int sift_max_vars = 1000;           ///< max variables sifted per call
+    int sift_max_vars = 1000;           ///< max variables sifted per pass
+    /// Abort a sift direction as soon as the frozen-part lower bound proves
+    /// no strictly better position can exist in it. Produces the same final
+    /// order as exhaustive exploration (tests enforce it); off only for A/B.
+    bool sift_lower_bound = true;
+    /// Repeat sift passes until a pass improves the live size by less than
+    /// sift_converge_ratio (or sift_max_passes is hit). Off = one pass, the
+    /// classical Rudell schedule the paper presets are fingerprinted on.
+    bool sift_converge = false;
+    double sift_converge_ratio = 0.01;
+    int sift_max_passes = 10;
+};
+
+/// Reordering telemetry (monotonic over the manager's lifetime).
+struct ReorderStats {
+    std::uint64_t swaps = 0;        ///< structural adjacent-level swaps
+    std::uint64_t fast_swaps = 0;   ///< label-only swaps (non-interacting / empty)
+    std::uint64_t lb_aborts = 0;    ///< sift directions cut by the lower bound
+    std::uint64_t lb_saved_swaps = 0;  ///< swaps those aborts provably avoided
+    std::uint64_t growth_aborts = 0;   ///< directions cut by sift_max_growth
+    std::uint64_t passes = 0;          ///< completed sift passes
+    std::uint64_t cache_clears_avoided = 0;  ///< reorders that kept the cache
 };
 
 /// Computed-table telemetry (monotonic over the manager's lifetime).
@@ -249,14 +270,31 @@ public:
     /// Reclaim all dead nodes. Invalidates nothing visible: handles keep
     /// their nodes alive.
     void gc();
-    /// Rudell sifting over all variables; keeps every handle valid.
+    /// Rudell sifting over all variables (interaction-aware, lower-bound
+    /// pruned; one pass, or repeated passes with ManagerParams::sift_converge).
+    /// Keeps every handle valid.
     void sift();
     /// Swap the variables at `level` and `level+1` (exposed for testing).
     void swap_adjacent_levels(int level);
+    /// True when the two variables may appear together on a root-to-terminal
+    /// path (conservative). Non-interacting adjacent levels swap by label
+    /// exchange only. Recomputes the interaction matrix if it is stale.
+    [[nodiscard]] bool vars_interact(int a, int b);
     [[nodiscard]] std::size_t live_node_count() const noexcept { return live_nodes_; }
     [[nodiscard]] std::size_t peak_node_count() const noexcept { return peak_nodes_; }
     /// Computed-table hit/miss/insert/collision counters.
     [[nodiscard]] const CacheStats& cache_stats() const noexcept { return cache_stats_; }
+    /// Reordering swap/skip/abort counters.
+    [[nodiscard]] const ReorderStats& reorder_stats() const noexcept {
+        return reorder_stats_;
+    }
+    /// Structural audit of the node store: unique-table chain membership and
+    /// entry counts, level_live_ census, ordering/canonicity invariants,
+    /// free-list hygiene, and (when current) interaction-matrix consistency.
+    /// Returns an empty string when everything holds, else a description of
+    /// the first violation. Intended for debug builds and the reorder
+    /// invariant tests; O(nodes).
+    [[nodiscard]] std::string check_integrity() const;
     /// Current computed-table capacity in entries.
     [[nodiscard]] std::size_t cache_capacity() const noexcept { return cache_.size(); }
     /// DOT rendering of one or more roots, for documentation/debugging.
@@ -266,10 +304,18 @@ public:
 private:
     friend class Bdd;
 
+    /// Hot node section (12 B): the only fields every recursive core, every
+    /// traversal, and every swap restructure reads. Packing them alone puts
+    /// ~5 nodes per cache line instead of ~3.
     struct Node {
         std::uint32_t level = kTerminalLevel;
         Edge hi = kEdgeInvalid;  // then-edge; always regular
         Edge lo = kEdgeInvalid;  // else-edge; may be complemented
+    };
+    /// Cold node section: unique-table chain link and reference count, only
+    /// touched by hash-cons lookups, refcounting, and GC. Indexed in
+    /// lockstep with nodes_.
+    struct NodeAux {
         std::uint32_t next = kNil;  // unique-table chain / free list
         std::uint32_t ref = 0;
     };
@@ -300,7 +346,30 @@ private:
     void table_insert(std::uint32_t level, NodeIndex idx);
     void table_remove(std::uint32_t level, NodeIndex idx);
     void maybe_grow_table(LevelTable& table);
+    /// Size an (empty) table's bucket array for an expected population:
+    /// one pow2 resize instead of doubling through overloaded chains during
+    /// swap re-insertion. Only legal when the table has no entries.
+    void size_empty_table(LevelTable& table, std::size_t expected);
     [[nodiscard]] std::size_t bucket_of(const LevelTable& table, Edge hi, Edge lo) const;
+
+    // Variable interaction matrix: row v is the bit-set of variables that
+    // may appear strictly below a v-labeled node (var-granularity transitive
+    // reach over every tabled node, live or dead — a conservative
+    // over-approximation of ancestor/descendant variable pairs). Two
+    // adjacent levels whose variables do not interact swap by label
+    // exchange, with no table evacuation and no node restructuring.
+    void recompute_interactions();
+    void interaction_add_node(std::uint32_t level, Edge hi, Edge lo);
+    [[nodiscard]] bool interaction_bit(int a, int b) const {
+        return (interact_[static_cast<std::size_t>(a) * interact_words_ +
+                          (static_cast<std::size_t>(b) >> 6)] >>
+                (static_cast<std::size_t>(b) & 63)) &
+               1u;
+    }
+    [[nodiscard]] bool vars_interact_raw(int a, int b) const {
+        // Rows are directional (reach-below); a symmetric query reads both.
+        return interaction_bit(a, b) || interaction_bit(b, a);
+    }
 
     // Computed table. The slot index is computed once per (op, operands)
     // triple and shared between the lookup and the insert; the table never
@@ -339,20 +408,51 @@ private:
     // Sifting internals.
     std::size_t swap_levels_internal(std::uint32_t upper);
     void sift_var_to(int var, int target_level);
+    void sift_pass();
+    /// Clear the computed table only when it may hold stale entries (a node
+    /// slot was freed, or an order-dependent result was cached); pure
+    /// reorders keep it warm.
+    void cache_clear_after_reorder();
 
     ManagerParams params_;
     std::vector<Node> nodes_;
+    std::vector<NodeAux> aux_;              // cold section, lockstep with nodes_
     std::vector<LevelTable> tables_;        // one per level
     std::vector<std::uint32_t> level_live_; // live nodes per level
     std::vector<std::uint32_t> var_to_level_;
     std::vector<std::uint32_t> level_to_var_;
     std::vector<CacheEntry> cache_;
     mutable CacheStats cache_stats_;
+    ReorderStats reorder_stats_;
     std::uint32_t free_list_ = kNil;
     std::size_t live_nodes_ = 0;   // internal nodes with ref > 0
     std::size_t dead_nodes_ = 0;   // internal nodes with ref == 0, still tabled
     std::size_t peak_nodes_ = 0;
     int op_depth_ = 0;  // >0 while a recursive core is running (blocks GC)
+
+    // Interaction matrix (see recompute_interactions). interact_valid_
+    // means the matrix is current; make_node keeps it current while set
+    // (two row-ORs per fresh node), gc()/new_var() invalidate so the next
+    // reorder recomputes a tight matrix on demand. interact_trusted_ is
+    // set for the duration of a reorder operation: swaps only remove
+    // variable-pair paths, so the matrix recomputed at reorder entry stays
+    // a sound over-approximation throughout even as restructuring creates
+    // nodes.
+    std::vector<std::uint64_t> interact_;
+    std::size_t interact_words_ = 0;  // 64-bit words per matrix row
+    bool interact_valid_ = false;
+    bool interact_trusted_ = false;
+    // Swap scratch, reused across the tens of thousands of adjacent swaps a
+    // sift performs (three vector allocations per swap otherwise).
+    std::vector<NodeIndex> swap_xs_;
+    std::vector<NodeIndex> swap_ys_;
+    std::vector<NodeIndex> swap_restructure_;
+    /// True when the computed table may hold entries that a reorder would
+    /// invalidate: a node slot was freed since the last clear (results
+    /// could resurrect recycled slots), or a constrain/restrict result —
+    /// which depends on the variable order — was inserted. ITE/AND/XOR
+    /// entries map functions to canonical edges and survive reordering.
+    bool cache_tainted_ = false;
 
     // Generation-stamped scratch (traversals, NodeMap, analysis memos).
     // stamp[i] == generation means "visited/set in the current pass"; a

@@ -61,12 +61,15 @@ Bdd Bdd::operator^(const Bdd& o) const { return mgr_->apply_xor(*this, o); }
 
 Manager::Manager(int num_vars, ManagerParams params) : params_(params) {
     nodes_.reserve(1024);
+    aux_.reserve(1024);
     Node terminal;
     terminal.level = kTerminalLevel;
     terminal.hi = kEdgeOne;
     terminal.lo = kEdgeOne;
-    terminal.ref = 0xffffffffu;  // pinned forever
     nodes_.push_back(terminal);
+    NodeAux terminal_aux;
+    terminal_aux.ref = 0xffffffffu;  // pinned forever
+    aux_.push_back(terminal_aux);
     cache_.assign(std::size_t{1} << params_.cache_size_log2, CacheEntry{});
     for (int i = 0; i < num_vars; ++i) new_var();
 }
@@ -80,6 +83,7 @@ int Manager::new_var() {
     level_live_.push_back(0);
     var_to_level_.push_back(level);
     level_to_var_.push_back(static_cast<std::uint32_t>(var_to_level_.size() - 1));
+    interact_valid_ = false;  // matrix rows are sized for the old var count
     return static_cast<int>(var_to_level_.size() - 1);
 }
 
@@ -115,26 +119,26 @@ Bdd Manager::from_edge(Edge e) {
 // ---------------------------------------------------------------------------
 
 void Manager::inc_ref(Edge e) {
-    Node& n = nodes_[edge_index(e)];
-    if (n.ref == 0xffffffffu) return;  // saturated / terminal
-    if (n.ref == 0) {
+    NodeAux& a = aux_[edge_index(e)];
+    if (a.ref == 0xffffffffu) return;  // saturated / terminal
+    if (a.ref == 0) {
         // Resurrection of a dead-but-tabled node.
         --dead_nodes_;
         ++live_nodes_;
-        ++level_live_[n.level];
+        ++level_live_[nodes_[edge_index(e)].level];
     }
-    ++n.ref;
+    ++a.ref;
 }
 
 void Manager::dec_ref(Edge e) {
-    Node& n = nodes_[edge_index(e)];
-    if (n.ref == 0xffffffffu) return;
-    assert(n.ref > 0);
-    --n.ref;
-    if (n.ref == 0) {
+    NodeAux& a = aux_[edge_index(e)];
+    if (a.ref == 0xffffffffu) return;
+    assert(a.ref > 0);
+    --a.ref;
+    if (a.ref == 0) {
         ++dead_nodes_;
         --live_nodes_;
-        --level_live_[n.level];
+        --level_live_[nodes_[edge_index(e)].level];
     }
 }
 
@@ -155,20 +159,30 @@ void Manager::maybe_grow_table(LevelTable& table) {
     table.buckets.assign(old.size() * 4, kNil);
     for (std::uint32_t head : old) {
         for (std::uint32_t idx = head; idx != kNil;) {
-            const std::uint32_t next = nodes_[idx].next;
+            const std::uint32_t next = aux_[idx].next;
             const std::size_t b = bucket_of(table, nodes_[idx].hi, nodes_[idx].lo);
-            nodes_[idx].next = table.buckets[b];
+            aux_[idx].next = table.buckets[b];
             table.buckets[b] = idx;
             idx = next;
         }
     }
 }
 
+void Manager::size_empty_table(LevelTable& table, std::size_t expected) {
+    assert(table.entries == 0);
+    // Target load factor ~1 at the expected population; resizing an empty
+    // table is a plain assign, no rehash. Shrinks oversized arrays too, so
+    // a level whose population migrated away stops paying for it.
+    std::size_t want = 16;
+    while (want < expected) want <<= 1;
+    if (table.buckets.size() != want) table.buckets.assign(want, kNil);
+}
+
 void Manager::table_insert(std::uint32_t level, NodeIndex idx) {
     LevelTable& table = tables_[level];
     maybe_grow_table(table);
     const std::size_t b = bucket_of(table, nodes_[idx].hi, nodes_[idx].lo);
-    nodes_[idx].next = table.buckets[b];
+    aux_[idx].next = table.buckets[b];
     table.buckets[b] = idx;
     ++table.entries;
 }
@@ -179,11 +193,11 @@ void Manager::table_remove(std::uint32_t level, NodeIndex idx) {
     std::uint32_t* link = &table.buckets[b];
     while (*link != kNil) {
         if (*link == idx) {
-            *link = nodes_[idx].next;
+            *link = aux_[idx].next;
             --table.entries;
             return;
         }
-        link = &nodes_[*link].next;
+        link = &aux_[*link].next;
     }
     assert(false && "table_remove: node not found");
 }
@@ -191,10 +205,11 @@ void Manager::table_remove(std::uint32_t level, NodeIndex idx) {
 std::uint32_t Manager::alloc_slot() {
     if (free_list_ != kNil) {
         const std::uint32_t idx = free_list_;
-        free_list_ = nodes_[idx].next;
+        free_list_ = aux_[idx].next;
         return idx;
     }
     nodes_.emplace_back();
+    aux_.emplace_back();
     return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
@@ -214,7 +229,7 @@ Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
     // and the insert.
     maybe_grow_table(table);
     const std::size_t b = bucket_of(table, hi, lo);
-    for (std::uint32_t idx = table.buckets[b]; idx != kNil; idx = nodes_[idx].next) {
+    for (std::uint32_t idx = table.buckets[b]; idx != kNil; idx = aux_[idx].next) {
         if (nodes_[idx].hi == hi && nodes_[idx].lo == lo) {
             return make_edge(idx, complement_out);
         }
@@ -224,14 +239,20 @@ Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
     n.level = level;
     n.hi = hi;
     n.lo = lo;
-    n.ref = 0;
+    aux_[idx].ref = 0;
     inc_ref(hi);
     inc_ref(lo);
-    nodes_[idx].next = table.buckets[b];
+    aux_[idx].next = table.buckets[b];
     table.buckets[b] = idx;
     ++table.entries;
     ++dead_nodes_;  // born dead; parents / handles will reference it
     if (live_nodes_ + dead_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_ + dead_nodes_;
+    // Keep the interaction matrix current between reorders. During one
+    // (interact_trusted_) the update is skipped on purpose: restructuring
+    // swaps only recombine existing paths — they can never create a new
+    // variable pair — and folding rows here would only blur the tight
+    // per-root matrix toward its transitive closure.
+    if (interact_valid_ && !interact_trusted_) interaction_add_node(level, hi, lo);
     return make_edge(idx, complement_out);
 }
 
@@ -274,11 +295,25 @@ bool Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, Edge* out) const 
 }
 
 void Manager::cache_insert(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
+    // Only the generalized cofactors funnel through here, and their results
+    // depend on the variable order — such entries must not survive a
+    // reorder. The hot ITE/AND/XOR cores use cache_store directly; their
+    // entries are order-independent (a function's edge is canonical).
+    cache_tainted_ = true;
     cache_store(cache_slot(op, f, g, h), op, f, g, h, result);
 }
 
 void Manager::cache_clear() {
     for (auto& e : cache_) e = CacheEntry{};
+    cache_tainted_ = false;
+}
+
+void Manager::cache_clear_after_reorder() {
+    if (cache_tainted_) {
+        cache_clear();
+    } else {
+        ++reorder_stats_.cache_clears_avoided;
+    }
 }
 
 void Manager::maybe_grow_cache() {
@@ -325,29 +360,215 @@ void Manager::sweep_dead() {
             while (*link != kNil) {
                 const std::uint32_t idx = *link;
                 Node& n = nodes_[idx];
-                if (n.ref == 0) {
-                    *link = n.next;
+                NodeAux& a = aux_[idx];
+                if (a.ref == 0) {
+                    *link = a.next;
                     --table.entries;
                     dec_ref(n.hi);
                     dec_ref(n.lo);
                     n.level = kTerminalLevel;
                     n.hi = kEdgeInvalid;
                     n.lo = kEdgeInvalid;
-                    n.next = free_list_;
+                    a.next = free_list_;
                     free_list_ = idx;
                     --dead_nodes_;
+                    // Freed slots may be recycled into different functions;
+                    // any cache entry still referencing them must not be
+                    // probed (callers clear before the next probe).
+                    cache_tainted_ = true;
                 } else {
-                    link = &n.next;
+                    link = &a.next;
                 }
             }
         }
     }
+    // Frees only remove variable-pair paths, so the interaction matrix
+    // stays a sound over-approximation — but force the next reorder to
+    // recompute a tight one rather than sifting against stale pairs.
+    interact_valid_ = false;
 }
 
 void Manager::auto_gc_if_needed() {
     if (op_depth_ != 0) return;
     if (dead_nodes_ > params_.gc_dead_threshold) gc();
     maybe_grow_cache();
+}
+
+// ---------------------------------------------------------------------------
+// Variable interaction matrix
+//
+// The classical per-root matrix: two variables interact when both appear
+// in the support of a common root (an externally referenced node, or a
+// dead node — the root of a garbage fragment that still constrains which
+// label swaps are structurally safe). Any direct edge between an a-node
+// and a b-node lies inside some root's DAG, so non-interacting adjacent
+// levels can swap by label exchange with no restructuring. Reordering
+// never changes root supports and only removes garbage fragments, so a
+// matrix computed at reorder entry stays sound for the whole operation.
+//
+// Between recomputes make_node keeps the invariant
+//     row[v]  ⊇  variables below any v-labeled node
+// by folding both children's rows into the new node's row (conservative:
+// it may only add pairs, never lose one). gc()/new_var() invalidate so the
+// next reorder recomputes a tight matrix on demand.
+// ---------------------------------------------------------------------------
+
+void Manager::interaction_add_node(std::uint32_t level, Edge hi, Edge lo) {
+    const std::size_t v = level_to_var_[level];
+    std::uint64_t* row = &interact_[v * interact_words_];
+    for (const Edge child : {hi, lo}) {
+        const std::uint32_t cl = nodes_[edge_index(child)].level;
+        if (cl == kTerminalLevel) continue;
+        const std::size_t cv = level_to_var_[cl];
+        const std::uint64_t* crow = &interact_[cv * interact_words_];
+        for (std::size_t w = 0; w < interact_words_; ++w) row[w] |= crow[w];
+        row[cv >> 6] |= std::uint64_t{1} << (cv & 63);
+    }
+}
+
+void Manager::recompute_interactions() {
+    const std::size_t n = var_to_level_.size();
+    interact_words_ = (n + 63) / 64;
+    interact_.assign(n * interact_words_, 0);
+    if (n == 0 || nodes_.size() <= 1) {
+        interact_valid_ = true;
+        return;
+    }
+    // Per-node supports, bottom-up (children before parents), plus parent
+    // reference counts: the surplus of a node's refcount over its tabled
+    // parents is held by external handles, which makes it a root.
+    std::vector<std::uint64_t> supp(nodes_.size() * interact_words_, 0);
+    std::vector<std::uint32_t> parent_refs(nodes_.size(), 0);
+    for (std::size_t l = tables_.size(); l-- > 0;) {
+        for (const std::uint32_t head : tables_[l].buckets) {
+            for (std::uint32_t idx = head; idx != kNil; idx = aux_[idx].next) {
+                std::uint64_t* row = &supp[idx * interact_words_];
+                const std::size_t v = level_to_var_[l];
+                row[v >> 6] |= std::uint64_t{1} << (v & 63);
+                for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
+                    const NodeIndex c = edge_index(child);
+                    if (c == kTerminalIndex) continue;
+                    ++parent_refs[c];
+                    const std::uint64_t* crow = &supp[c * interact_words_];
+                    for (std::size_t w = 0; w < interact_words_; ++w) {
+                        row[w] |= crow[w];
+                    }
+                }
+            }
+        }
+    }
+    // Mark all pairs within each root's support: row[v] |= supp(root) for
+    // every v in supp(root).
+    for (std::size_t l = 0; l < tables_.size(); ++l) {
+        for (const std::uint32_t head : tables_[l].buckets) {
+            for (std::uint32_t idx = head; idx != kNil; idx = aux_[idx].next) {
+                const std::uint32_t ref = aux_[idx].ref;
+                if (ref != 0 && ref <= parent_refs[idx]) continue;  // not a root
+                const std::uint64_t* s = &supp[idx * interact_words_];
+                for (std::size_t w = 0; w < interact_words_; ++w) {
+                    std::uint64_t bits = s[w];
+                    while (bits != 0) {
+                        const std::size_t v =
+                            (w << 6) + static_cast<std::size_t>(
+                                           __builtin_ctzll(bits));
+                        bits &= bits - 1;
+                        std::uint64_t* row = &interact_[v * interact_words_];
+                        for (std::size_t k = 0; k < interact_words_; ++k) {
+                            row[k] |= s[k];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    interact_valid_ = true;
+}
+
+bool Manager::vars_interact(int a, int b) {
+    if (a == b) return true;
+    if (!interact_valid_) recompute_interactions();
+    return vars_interact_raw(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Structural audit (debug / reorder invariant tests)
+// ---------------------------------------------------------------------------
+
+std::string Manager::check_integrity() const {
+    if (nodes_.size() != aux_.size()) return ("nodes_/aux_ size mismatch");
+    std::vector<std::uint8_t> tabled(nodes_.size(), 0);
+    std::size_t live = 0, dead = 0;
+    for (std::uint32_t level = 0; level < tables_.size(); ++level) {
+        const LevelTable& table = tables_[level];
+        std::uint32_t chained = 0, level_live = 0;
+        for (const std::uint32_t head : table.buckets) {
+            for (std::uint32_t idx = head; idx != kNil; idx = aux_[idx].next) {
+                if (idx >= nodes_.size()) return ("chain index out of range");
+                if (tabled[idx]) return ("node " + std::to_string(idx) +
+                                             " chained twice");
+                tabled[idx] = 1;
+                ++chained;
+                const Node& n = nodes_[idx];
+                if (n.level != level) {
+                    return ("node " + std::to_string(idx) + " at level " +
+                                std::to_string(n.level) + " chained in table " +
+                                std::to_string(level));
+                }
+                if (edge_complemented(n.hi)) return ("complemented then-edge");
+                if (n.hi == n.lo) return ("redundant node survived");
+                for (const Edge child : {n.hi, n.lo}) {
+                    const std::uint32_t cl = nodes_[edge_index(child)].level;
+                    if (cl <= level) {
+                        return ("ordering violation at node " +
+                                    std::to_string(idx));
+                    }
+                    if (interact_valid_ && cl != kTerminalLevel &&
+                        !vars_interact_raw(
+                            static_cast<int>(level_to_var_[level]),
+                            static_cast<int>(level_to_var_[cl]))) {
+                        return ("interaction matrix misses pair at node " +
+                                    std::to_string(idx));
+                    }
+                }
+                if (aux_[idx].ref > 0) {
+                    ++level_live;
+                    ++live;
+                } else {
+                    ++dead;
+                }
+            }
+        }
+        if (chained != table.entries) {
+            return ("table " + std::to_string(level) + " entries " +
+                        std::to_string(table.entries) + " != chained " +
+                        std::to_string(chained));
+        }
+        if (level_live != level_live_[level]) {
+            return ("level_live_[" + std::to_string(level) + "] = " +
+                        std::to_string(level_live_[level]) + " but census says " +
+                        std::to_string(level_live));
+        }
+    }
+    if (live != live_nodes_) return ("live_nodes_ census mismatch");
+    if (dead != dead_nodes_) return ("dead_nodes_ census mismatch");
+    // Bounded walk: a corrupted free list (cyclic, or linking out of range)
+    // must yield a diagnosis, not hang or index out of bounds.
+    std::size_t free_count = 0;
+    for (std::uint32_t idx = free_list_; idx != kNil; idx = aux_[idx].next) {
+        if (idx >= nodes_.size()) return ("free-list index out of range");
+        if (tabled[idx]) return ("free-list node also chained in a table");
+        if (nodes_[idx].level != kTerminalLevel) {
+            return ("free-list node keeps a level");
+        }
+        if (++free_count > nodes_.size()) {
+            return ("free list is cyclic or exceeds the slot count");
+        }
+    }
+    // Every slot is the terminal, tabled, or on the free list.
+    if (1 + live + dead + free_count != nodes_.size()) {
+        return ("slot accounting mismatch (leaked or double-counted slots)");
+    }
+    return {};
 }
 
 // ---------------------------------------------------------------------------

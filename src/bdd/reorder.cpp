@@ -1,10 +1,29 @@
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <stdexcept>
 
 #include "bdd/bdd.hpp"
 
 namespace bdsmaj::bdd {
+
+namespace {
+
+/// Marks the interaction matrix as trusted for the duration of a reorder
+/// operation (swaps only remove variable-pair paths, so the matrix
+/// recomputed at entry stays a sound over-approximation throughout).
+class InteractionTrustGuard {
+public:
+    explicit InteractionTrustGuard(bool& flag) : flag_(flag) { flag_ = true; }
+    ~InteractionTrustGuard() { flag_ = false; }
+    InteractionTrustGuard(const InteractionTrustGuard&) = delete;
+    InteractionTrustGuard& operator=(const InteractionTrustGuard&) = delete;
+
+private:
+    bool& flag_;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // In-place adjacent-level swap.
@@ -12,9 +31,21 @@ namespace bdsmaj::bdd {
 // Variables x (upper level u) and y (lower level u+1) exchange positions.
 // All node indices stay valid: nodes are rewritten in place, so every
 // outstanding handle and every parent edge continues to denote the same
-// function. The procedure is the classical one used by reordering BDD
+// function.
+//
+// Fast path — label-only exchange. When either level is empty, or the
+// interaction matrix proves no x-labeled node can have a y-labeled
+// descendant (so in particular no direct u -> u+1 edge exists), no node
+// needs restructuring: every node keeps its variable, children, and hash
+// key; only its level changes. The two tables and live counts are swapped
+// wholesale — no evacuation, no rehashing, no refcount churn, and the
+// computed table stays exactly valid (no slot was freed or created).
+//
+// Slow path — the classical restructuring swap used by reordering BDD
 // packages:
-//   1. evacuate both levels from their unique tables;
+//   1. evacuate both levels from their unique tables (and size the empty
+//      bucket arrays once for the incoming population, instead of doubling
+//      through overloaded chains insert by insert);
 //   2. x-nodes that do not reference level u+1 simply move down;
 //   3. x-nodes that do are rewritten in place into y-nodes over fresh
 //      (or shared) x-nodes built at level u+1:
@@ -26,23 +57,66 @@ std::size_t Manager::swap_levels_internal(std::uint32_t upper) {
     const std::uint32_t lower = upper + 1;
     assert(lower < tables_.size());
 
-    auto evacuate = [&](std::uint32_t level) {
-        std::vector<NodeIndex> out;
+    const int vx = static_cast<int>(level_to_var_[upper]);
+    const int vy = static_cast<int>(level_to_var_[lower]);
+    bool label_only = tables_[upper].entries == 0 || tables_[lower].entries == 0;
+    if (!label_only && interact_trusted_ && !vars_interact_raw(vx, vy)) {
+        label_only = true;
+#ifndef NDEBUG
+        // The matrix is conservative: non-interacting really does mean no
+        // node at `upper` reaches into `lower`.
+        for (const std::uint32_t head : tables_[upper].buckets) {
+            for (std::uint32_t idx = head; idx != kNil; idx = aux_[idx].next) {
+                assert(edge_level(nodes_[idx].hi) != lower &&
+                       edge_level(nodes_[idx].lo) != lower);
+            }
+        }
+#endif
+    }
+    if (label_only) {
+        for (const std::uint32_t head : tables_[upper].buckets) {
+            for (std::uint32_t idx = head; idx != kNil; idx = aux_[idx].next) {
+                nodes_[idx].level = lower;
+            }
+        }
+        for (const std::uint32_t head : tables_[lower].buckets) {
+            for (std::uint32_t idx = head; idx != kNil; idx = aux_[idx].next) {
+                nodes_[idx].level = upper;
+            }
+        }
+        std::swap(tables_[upper], tables_[lower]);
+        std::swap(level_live_[upper], level_live_[lower]);
+        std::swap(level_to_var_[upper], level_to_var_[lower]);
+        var_to_level_[level_to_var_[upper]] = upper;
+        var_to_level_[level_to_var_[lower]] = lower;
+        ++reorder_stats_.fast_swaps;
+        return live_nodes_;
+    }
+
+    auto evacuate = [&](std::uint32_t level, std::vector<NodeIndex>& out) {
+        out.clear();
         LevelTable& table = tables_[level];
+        out.reserve(table.entries);
         for (auto& head : table.buckets) {
             for (std::uint32_t idx = head; idx != kNil;) {
-                const std::uint32_t next = nodes_[idx].next;
+                const std::uint32_t next = aux_[idx].next;
                 out.push_back(idx);
                 idx = next;
             }
             head = kNil;
         }
         table.entries = 0;
-        return out;
     };
 
-    const std::vector<NodeIndex> xs = evacuate(upper);
-    const std::vector<NodeIndex> ys = evacuate(lower);
+    std::vector<NodeIndex>& xs = swap_xs_;
+    std::vector<NodeIndex>& ys = swap_ys_;
+    evacuate(upper, xs);
+    evacuate(lower, ys);
+    // Both tables are about to absorb roughly the other level's population
+    // (plus restructuring shares); one sized assign beats doubling through
+    // overloaded chains during re-insertion.
+    size_empty_table(tables_[upper], xs.size() + ys.size());
+    size_empty_table(tables_[lower], xs.size() + ys.size());
 
     auto free_dead_node = [&](NodeIndex idx) {
         // Node is out of every table and has ref == 0.
@@ -51,16 +125,18 @@ std::size_t Manager::swap_levels_internal(std::uint32_t upper) {
         nodes_[idx].level = kTerminalLevel;
         nodes_[idx].hi = kEdgeInvalid;
         nodes_[idx].lo = kEdgeInvalid;
-        nodes_[idx].next = free_list_;
+        aux_[idx].next = free_list_;
         free_list_ = idx;
         --dead_nodes_;
+        cache_tainted_ = true;  // slot may recycle into a different function
     };
 
     // Pass 1: move x-nodes independent of y down to the lower level, so that
     // pass 2's make_node lookups can share them instead of duplicating.
-    std::vector<NodeIndex> to_restructure;
+    std::vector<NodeIndex>& to_restructure = swap_restructure_;
+    to_restructure.clear();
     for (const NodeIndex idx : xs) {
-        if (nodes_[idx].ref == 0) {
+        if (aux_[idx].ref == 0) {
             free_dead_node(idx);
             continue;
         }
@@ -99,7 +175,7 @@ std::size_t Manager::swap_levels_internal(std::uint32_t upper) {
 
     // Pass 3: relocate surviving y-nodes to the upper level, free dead ones.
     for (const NodeIndex idx : ys) {
-        if (nodes_[idx].ref == 0) {
+        if (aux_[idx].ref == 0) {
             free_dead_node(idx);
         } else {
             --level_live_[lower];
@@ -113,6 +189,7 @@ std::size_t Manager::swap_levels_internal(std::uint32_t upper) {
     std::swap(level_to_var_[upper], level_to_var_[lower]);
     var_to_level_[level_to_var_[upper]] = upper;
     var_to_level_[level_to_var_[lower]] = lower;
+    ++reorder_stats_.swaps;
     return live_nodes_;
 }
 
@@ -121,14 +198,45 @@ void Manager::swap_adjacent_levels(int level) {
         throw std::out_of_range("swap_adjacent_levels: bad level");
     }
     assert(op_depth_ == 0);
-    cache_clear();  // cache entries are order-dependent
-    swap_levels_internal(static_cast<std::uint32_t>(level));
+    if (!interact_valid_) recompute_interactions();
+    {
+        InteractionTrustGuard trust(interact_trusted_);
+        swap_levels_internal(static_cast<std::uint32_t>(level));
+    }
+    // Cache entries are edge-keyed results of canonical functions, which a
+    // swap preserves; only freed slots or order-dependent (constrain /
+    // restrict) entries force the wipe.
+    cache_clear_after_reorder();
 }
 
 // ---------------------------------------------------------------------------
 // Rudell sifting: move each variable through the whole order, keep the best
 // position. Variables are processed in decreasing order of their level's
-// node count, the standard heuristic.
+// node count, the standard heuristic. Two refinements over the textbook
+// loop, both provably order-preserving (the final position of every
+// variable is identical to the exhaustive version; tests enforce it):
+//
+//   * interaction fast path — swaps over runs of non-interacting levels are
+//     label-only exchanges inside swap_levels_internal, costing no
+//     restructuring and never changing the live size;
+//   * lower-bound pruning — each variable's exploration starts from a
+//     garbage-free store (sweep_dead; sweeps never touch live structure),
+//     after which every node that dies during the exploration is a
+//     descendant of an x-node: restructuring dec-refs hit x-children, and
+//     cascaded frees only follow descendant edges of nodes that died the
+//     same way. Levels whose variables do not interact with x therefore
+//     keep their live counts for the whole exploration, so
+//         live  -  (live_at_x_level - x_floor)  -  sum of interacting
+//                                                  levels' live counts
+//     bounds every reachable future size from below (for the downward run
+//     only the not-yet-passed levels below can still shrink, which
+//     tightens the sum). The moment the bound reaches the best size
+//     already found, no further position in the direction can strictly
+//     improve, and it is abandoned. The x_floor of 1 is sound because a
+//     restructuring swap always leaves at least one live x-labeled node
+//     when one existed before (t == e is impossible for a canonical node),
+//     and no cascade can kill an x-node (a variable never appears twice on
+//     a path).
 // ---------------------------------------------------------------------------
 
 void Manager::sift_var_to(int var, int target_level) {
@@ -143,34 +251,59 @@ void Manager::sift_var_to(int var, int target_level) {
     }
 }
 
-void Manager::sift() {
-    assert(op_depth_ == 0);
+void Manager::sift_pass() {
     const int num_levels = static_cast<int>(tables_.size());
-    if (num_levels < 2) {
-        gc();
-        return;
-    }
-    // Start from an exact live census. No operation probes the computed
-    // table until sifting finishes, so intermediate collections only sweep;
-    // the single cache_clear at the end drops the order-stale (and possibly
-    // slot-recycled) entries in one pass.
-    sweep_dead();
+    // Recompute per pass: earlier passes only shrink the pair set, so a
+    // fresh matrix is tighter (more fast swaps), never less sound.
+    recompute_interactions();
 
     std::vector<int> vars(var_to_level_.size());
-    for (std::size_t v = 0; v < vars.size(); ++v) vars[v] = static_cast<int>(v);
+    std::iota(vars.begin(), vars.end(), 0);
     std::sort(vars.begin(), vars.end(), [&](int a, int b) {
         return level_live_[var_to_level_[static_cast<std::size_t>(a)]] >
                level_live_[var_to_level_[static_cast<std::size_t>(b)]];
     });
-    if (static_cast<int>(vars.size()) > params_.sift_max_vars) {
-        vars.resize(static_cast<std::size_t>(params_.sift_max_vars));
+    // Negative caps (possible via CLI/service plumbing) mean "sift nothing",
+    // not a SIZE_MAX resize.
+    const int max_vars = std::max(params_.sift_max_vars, 0);
+    if (static_cast<int>(vars.size()) > max_vars) {
+        vars.resize(static_cast<std::size_t>(max_vars));
     }
 
+    std::vector<int> interacting;  // vars whose levels can change under x
     for (const int var : vars) {
+        // Garbage-free start: the cascade-containment argument behind the
+        // lower bound needs it, and dragging dead nodes through swaps is
+        // wasted restructuring anyway. No-op when nothing is dead.
+        sweep_dead();
         const int start = level_of_var(var);
         std::size_t best_size = live_nodes_;
         int best_level = start;
         int cur = start;
+        // A variable with live nodes keeps at least one at every position.
+        const std::size_t var_floor =
+            level_live_[static_cast<std::size_t>(start)] > 0 ? 1 : 0;
+        interacting.clear();
+        if (params_.sift_lower_bound) {
+            for (int v = 0; v < static_cast<int>(var_to_level_.size()); ++v) {
+                if (v != var && vars_interact_raw(var, v)) interacting.push_back(v);
+            }
+        }
+        // Levels that may still lose nodes: x's own (down to var_floor) and
+        // the interacting ones — below only for a downward run (levels
+        // already passed sit above x and cascades travel strictly down), all
+        // of them for an upward run.
+        const auto lower_bound_size = [&](bool below_only) {
+            std::size_t reducible =
+                level_live_[static_cast<std::size_t>(cur)] - var_floor;
+            for (const int v : interacting) {
+                const std::uint32_t l = var_to_level_[static_cast<std::size_t>(v)];
+                if (!below_only || static_cast<int>(l) > cur) {
+                    reducible += level_live_[l];
+                }
+            }
+            return live_nodes_ - reducible;
+        };
 
         // Visit the nearer end of the order first: fewer swaps in the common
         // case where the variable does not want to travel far.
@@ -178,6 +311,13 @@ void Manager::sift() {
         for (const bool downward : {down_first, !down_first}) {
             if (downward) {
                 while (cur + 1 < num_levels) {
+                    if (params_.sift_lower_bound &&
+                        lower_bound_size(/*below_only=*/true) >= best_size) {
+                        ++reorder_stats_.lb_aborts;
+                        reorder_stats_.lb_saved_swaps +=
+                            static_cast<std::uint64_t>(num_levels - 1 - cur);
+                        break;
+                    }
                     swap_levels_internal(static_cast<std::uint32_t>(cur));
                     ++cur;
                     if (live_nodes_ < best_size) {
@@ -185,11 +325,19 @@ void Manager::sift() {
                         best_level = cur;
                     } else if (static_cast<double>(live_nodes_) >
                                params_.sift_max_growth * static_cast<double>(best_size)) {
+                        ++reorder_stats_.growth_aborts;
                         break;
                     }
                 }
             } else {
                 while (cur > 0) {
+                    if (params_.sift_lower_bound &&
+                        lower_bound_size(/*below_only=*/false) >= best_size) {
+                        ++reorder_stats_.lb_aborts;
+                        reorder_stats_.lb_saved_swaps +=
+                            static_cast<std::uint64_t>(cur);
+                        break;
+                    }
                     swap_levels_internal(static_cast<std::uint32_t>(cur - 1));
                     --cur;
                     if (live_nodes_ < best_size) {
@@ -197,6 +345,7 @@ void Manager::sift() {
                         best_level = cur;
                     } else if (static_cast<double>(live_nodes_) >
                                params_.sift_max_growth * static_cast<double>(best_size)) {
+                        ++reorder_stats_.growth_aborts;
                         break;
                     }
                 }
@@ -205,8 +354,38 @@ void Manager::sift() {
         sift_var_to(var, best_level);
         if (dead_nodes_ > params_.gc_dead_threshold) sweep_dead();
     }
+    ++reorder_stats_.passes;
+}
+
+void Manager::sift() {
+    assert(op_depth_ == 0);
+    if (tables_.size() < 2) {
+        gc();
+        return;
+    }
+    // Start from an exact live census. No operation probes the computed
+    // table until sifting finishes, so intermediate collections only sweep;
+    // a single conditional cache clear at the end handles freed slots and
+    // order-dependent entries in one pass.
     sweep_dead();
-    cache_clear();  // cache entries are order-dependent (and slots recycle)
+    InteractionTrustGuard trust(interact_trusted_);
+    sift_pass();
+    if (params_.sift_converge) {
+        // Every pass is monotone non-increasing (each variable lands on its
+        // best position); stop when a whole pass gains less than the
+        // convergence ratio.
+        for (int pass = 1; pass < params_.sift_max_passes; ++pass) {
+            const std::size_t before = live_nodes_;
+            sift_pass();
+            assert(live_nodes_ <= before);
+            if (static_cast<double>(before - live_nodes_) <
+                params_.sift_converge_ratio * static_cast<double>(before)) {
+                break;
+            }
+        }
+    }
+    sweep_dead();
+    cache_clear_after_reorder();
 }
 
 }  // namespace bdsmaj::bdd

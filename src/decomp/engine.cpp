@@ -29,6 +29,10 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     literal_leaves += o.literal_leaves;
     npn_cache_hits += o.npn_cache_hits;
     npn_cache_misses += o.npn_cache_misses;
+    sift_swaps += o.sift_swaps;
+    sift_fast_swaps += o.sift_fast_swaps;
+    sift_lb_aborts += o.sift_lb_aborts;
+    peak_bdd_nodes = std::max(peak_bdd_nodes, o.peak_bdd_nodes);
     return *this;
 }
 

@@ -80,6 +80,14 @@ struct EngineStats {
     int literal_leaves = 0;
     long long npn_cache_hits = 0;
     long long npn_cache_misses = 0;
+    // Reordering effort of the per-supernode managers (filled by the flow
+    // layer, not the decomposer). Sums/max over supernodes are
+    // order-independent, so these stay deterministic at any job count —
+    // but they are telemetry, not part of the engine-step fingerprints.
+    long long sift_swaps = 0;       ///< structural adjacent-level swaps
+    long long sift_fast_swaps = 0;  ///< label-only swaps of non-interacting levels
+    long long sift_lb_aborts = 0;   ///< sift directions cut by the lower bound
+    long long peak_bdd_nodes = 0;   ///< max peak node count over the managers
 
     EngineStats& operator+=(const EngineStats& o);
 

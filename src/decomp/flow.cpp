@@ -117,7 +117,7 @@ void decompose_supernode_to_tape(const Network& input, const Supernode& sn,
                                  const DecompFlowParams& params,
                                  ConeScratch& scratch, net::GateTape& tape,
                                  EngineStats& stats) {
-    bdd::Manager mgr(static_cast<int>(sn.leaves.size()));
+    bdd::Manager mgr(static_cast<int>(sn.leaves.size()), params.manager);
     const Bdd f = build_supernode_bdd(mgr, input, sn, scratch);
     if (params.reorder) mgr.sift();
 
@@ -130,6 +130,11 @@ void decompose_supernode_to_tape(const Network& input, const Supernode& sn,
     BddDecomposer decomposer(mgr, tape, std::move(leaves), params.engine);
     tape.set_root(decomposer.decompose(f));
     stats = decomposer.stats();
+    const bdd::ReorderStats& rs = mgr.reorder_stats();
+    stats.sift_swaps = static_cast<long long>(rs.swaps);
+    stats.sift_fast_swaps = static_cast<long long>(rs.fast_swaps);
+    stats.sift_lb_aborts = static_cast<long long>(rs.lb_aborts);
+    stats.peak_bdd_nodes = static_cast<long long>(mgr.peak_node_count());
 }
 
 }  // namespace

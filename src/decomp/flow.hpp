@@ -37,6 +37,12 @@ public:
 struct DecompFlowParams {
     EngineParams engine;
     PartitionParams partition;
+    /// Tuning for the per-supernode BDD managers — in particular the
+    /// reordering budget (sift_max_growth / sift_max_vars / sift_converge;
+    /// see bdd::ManagerParams). Defaults reproduce the paper presets
+    /// byte-for-byte; sift_converge trades decomposition time for smaller
+    /// local BDDs and may change (equivalent) output structure.
+    bdd::ManagerParams manager;
     /// Sift each supernode's local BDD before decomposing (paper SIV-B).
     bool reorder = true;
     /// Run structural cleanup on the result.

@@ -23,6 +23,7 @@ SynthesisResult from_decomposition(std::string name, const net::Network& input,
     decomp::DecompFlowParams params;
     params.engine.use_majority = use_majority;
     params.engine.preset = options.preset;
+    params.manager = options.manager;
     params.jobs = options.jobs;
     params.cancel = options.cancel;
     decomp::DecompFlowResult d = decomp::decompose_network(input, params);

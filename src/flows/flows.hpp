@@ -28,6 +28,10 @@ struct FlowOptions {
     /// decomp::preset_catalog()); "paper" reproduces the published ladder
     /// byte-for-byte. ABC/DC ignore it.
     std::string preset = "paper";
+    /// Per-supernode BDD manager tuning (reordering budget: sift growth
+    /// bound, converging sift, variable cap). Defaults keep the preset
+    /// fingerprints; ABC/DC ignore it.
+    bdd::ManagerParams manager{};
     /// Cooperative cancellation token, checked between supernodes inside
     /// the BDS decomposition (decomp::FlowCancelled propagates out) and
     /// between circuits in run_suite. Null = not cancellable.

@@ -134,6 +134,7 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
         FlowOptions options;
         options.jobs = job->params.jobs;
         options.preset = job->params.preset;
+        options.manager = job->params.manager;
         options.cancel = &job->cancel_requested;
         out.results.resize(job->inputs.size());
         if (job->inputs.size() <= 1) {

@@ -67,6 +67,9 @@ struct SynthesisJobParams {
     /// Decomposition strategy preset for the BDS flows (see
     /// decomp::preset_catalog()). An unknown name fails the job.
     std::string preset = "paper";
+    /// Per-supernode BDD manager tuning for the BDS flows (reordering
+    /// budget; see bdd::ManagerParams). Defaults keep preset fingerprints.
+    bdd::ManagerParams manager;
     JobPriority priority = JobPriority::kNormal;
 };
 

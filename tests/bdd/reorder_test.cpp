@@ -152,5 +152,213 @@ TEST(Reorder, HandlesStayValidAcrossSiftEvenWhenRootRestructures) {
     EXPECT_EQ(mgr.to_truth_table(g, n), ft ^ TruthTable::var(n, 0));
 }
 
+// ---------------------------------------------------------------------------
+// Invariant suite: randomized op/swap/sift interleavings against the
+// truth-table oracle, with the structural integrity checker (unique-table
+// chain membership and counts, level_live_ census, ordering/canonicity,
+// interaction-matrix consistency) run after every mutation.
+// ---------------------------------------------------------------------------
+
+class ReorderInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReorderInvariantTest, RandomOpSwapSiftSequencesHoldAllInvariants) {
+    const int n = GetParam();
+    std::mt19937_64 rng(541 + static_cast<unsigned>(n));
+    Manager mgr(n);
+    std::vector<Bdd> funcs;
+    std::vector<TruthTable> oracle;
+    for (int i = 0; i < 3; ++i) {
+        oracle.push_back(TruthTable::random(n, rng));
+        funcs.push_back(mgr.from_truth_table(oracle.back()));
+    }
+    const auto verify_all = [&](const char* what, int step) {
+        ASSERT_EQ(mgr.check_integrity(), "") << what << " at step " << step;
+        for (std::size_t i = 0; i < funcs.size(); ++i) {
+            ASSERT_EQ(mgr.to_truth_table(funcs[i], n), oracle[i])
+                << what << " at step " << step << " func " << i;
+        }
+    };
+    for (int step = 0; step < 80; ++step) {
+        switch (rng() % 8) {
+            case 0: case 1: case 2: {  // swap a random adjacent pair
+                mgr.swap_adjacent_levels(static_cast<int>(rng() % (n - 1)));
+                break;
+            }
+            case 3: {  // combine two functions (also exercises the cache)
+                const std::size_t i = rng() % funcs.size();
+                const std::size_t j = rng() % funcs.size();
+                const int op = static_cast<int>(rng() % 3);
+                Bdd r = op == 0   ? mgr.apply_and(funcs[i], funcs[j])
+                        : op == 1 ? mgr.apply_or(funcs[i], funcs[j])
+                                  : mgr.apply_xor(funcs[i], funcs[j]);
+                TruthTable t = op == 0   ? (oracle[i] & oracle[j])
+                               : op == 1 ? (oracle[i] | oracle[j])
+                                         : (oracle[i] ^ oracle[j]);
+                funcs[i] = std::move(r);
+                oracle[i] = std::move(t);
+                break;
+            }
+            case 4: {  // drop and regrow a function (creates garbage)
+                const std::size_t i = rng() % funcs.size();
+                oracle[i] = TruthTable::random(n, rng);
+                funcs[i] = mgr.from_truth_table(oracle[i]);
+                break;
+            }
+            case 5: {
+                mgr.gc();
+                break;
+            }
+            case 6: {
+                mgr.sift();
+                break;
+            }
+            default: {  // generalized cofactor: an order-dependent cache op
+                const std::size_t i = rng() % funcs.size();
+                const int var = static_cast<int>(rng() % n);
+                funcs[i] = mgr.cofactor(funcs[i], var, true);
+                oracle[i] = oracle[i].cofactor(var, true);
+                break;
+            }
+        }
+        verify_all("mutation", step);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReorderInvariantTest, ::testing::Values(3, 5, 7, 9));
+
+TEST(Reorder, NonInteractingLevelsSwapByLabelOnly) {
+    Manager mgr(4);
+    // x0&x1 and x2^x3 are disjoint-support functions: (x1, x2) never
+    // interact, so swapping levels 1 and 2 must take the label-only path.
+    const Bdd f = mgr.var_bdd(0) & mgr.var_bdd(1);
+    const Bdd g = mgr.var_bdd(2) ^ mgr.var_bdd(3);
+    const TruthTable ft = mgr.to_truth_table(f, 4);
+    const TruthTable gt = mgr.to_truth_table(g, 4);
+    EXPECT_FALSE(mgr.vars_interact(1, 2));
+    EXPECT_TRUE(mgr.vars_interact(0, 1));
+    EXPECT_TRUE(mgr.vars_interact(2, 3));
+    const std::uint64_t fast_before = mgr.reorder_stats().fast_swaps;
+    const std::uint64_t slow_before = mgr.reorder_stats().swaps;
+    mgr.swap_adjacent_levels(1);
+    EXPECT_EQ(mgr.reorder_stats().fast_swaps, fast_before + 1);
+    EXPECT_EQ(mgr.reorder_stats().swaps, slow_before);
+    EXPECT_EQ(mgr.current_order(), (std::vector<int>{0, 2, 1, 3}));
+    EXPECT_EQ(mgr.check_integrity(), "");
+    EXPECT_EQ(mgr.to_truth_table(f, 4), ft);
+    EXPECT_EQ(mgr.to_truth_table(g, 4), gt);
+    // Canonicity after the label swap: rebuilding hits the same edges.
+    EXPECT_EQ(mgr.from_truth_table(ft), f);
+    EXPECT_EQ(mgr.from_truth_table(gt), g);
+}
+
+TEST(Reorder, PureLabelSwapKeepsComputedTableWarm) {
+    Manager mgr(6);
+    std::mt19937_64 rng(7);
+    const Bdd a = mgr.from_truth_table(TruthTable::random(3, rng));
+    const Bdd b = mgr.var_bdd(1) ^ mgr.var_bdd(2);
+    const Bdd r1 = mgr.apply_and(a, b);
+    // Levels 4 and 5 are empty: the swap is label-only, frees nothing, and
+    // the (order-independent) AND entry must survive it.
+    const auto before = mgr.cache_stats();
+    mgr.swap_adjacent_levels(4);
+    const Bdd r2 = mgr.apply_and(a, b);
+    const auto after = mgr.cache_stats();
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(after.hits, before.hits + 1) << "cache was wiped by a pure label swap";
+    EXPECT_GT(mgr.reorder_stats().cache_clears_avoided, 0u);
+}
+
+TEST(Reorder, SwapThatFreesNodesStillComputesCorrectly) {
+    // Garbage at the swapped levels forces the conservative cache wipe;
+    // results must stay oracle-correct afterwards.
+    const int n = 6;
+    std::mt19937_64 rng(67);
+    Manager mgr(n);
+    const TruthTable ft = TruthTable::random(n, rng);
+    const Bdd f = mgr.from_truth_table(ft);
+    {
+        const Bdd garbage = mgr.apply_and(f, mgr.var_bdd(3) ^ mgr.var_bdd(4));
+        EXPECT_TRUE(garbage.valid());
+    }
+    for (int level = 0; level < n - 1; ++level) {
+        mgr.swap_adjacent_levels(level);
+        ASSERT_EQ(mgr.check_integrity(), "") << "after swap at " << level;
+    }
+    EXPECT_EQ(mgr.to_truth_table(f, n), ft);
+    const Bdd again = mgr.apply_and(f, mgr.var_bdd(3) ^ mgr.var_bdd(4));
+    EXPECT_EQ(mgr.to_truth_table(again, n),
+              ft & (TruthTable::var(n, 3) ^ TruthTable::var(n, 4)));
+}
+
+TEST(Reorder, LowerBoundPruningPreservesTheFinalOrder) {
+    // The pruned sift must land every variable on exactly the position the
+    // exhaustive version picks — same order, same size — while actually
+    // pruning something across the seeds.
+    std::uint64_t total_aborts = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const int n = 10;
+        std::mt19937_64 rng(seed);
+        // A mix of a partitioned function and random noise gives sifting
+        // real travel distances (and the bound something to prune).
+        const TruthTable noise = TruthTable::random(4, rng);
+        ManagerParams pruned_params;
+        pruned_params.sift_lower_bound = true;
+        ManagerParams exhaustive_params;
+        exhaustive_params.sift_lower_bound = false;
+        Manager pruned(n, pruned_params);
+        Manager exhaustive(n, exhaustive_params);
+        std::vector<Bdd> keep;
+        for (Manager* m : {&pruned, &exhaustive}) {
+            keep.push_back((m->var_bdd(0) & m->var_bdd(5)) |
+                           (m->var_bdd(1) & m->var_bdd(6)) |
+                           (m->var_bdd(2) & m->var_bdd(7)));
+            keep.push_back(m->from_truth_table(noise));
+        }
+        pruned.sift();
+        exhaustive.sift();
+        EXPECT_EQ(pruned.current_order(), exhaustive.current_order())
+            << "seed " << seed;
+        EXPECT_EQ(pruned.live_node_count(), exhaustive.live_node_count());
+        EXPECT_EQ(pruned.check_integrity(), "");
+        total_aborts += pruned.reorder_stats().lb_aborts;
+        EXPECT_EQ(exhaustive.reorder_stats().lb_aborts, 0u);
+    }
+    EXPECT_GT(total_aborts, 0u) << "the lower bound never fired";
+}
+
+TEST(Reorder, ConvergingSiftReachesAFixedPointAndPreservesFunctions) {
+    const int n = 10;
+    std::mt19937_64 rng(83);
+    const TruthTable ft = TruthTable::random(n, rng);
+    ManagerParams converge_params;
+    converge_params.sift_converge = true;
+    Manager converged(n, converge_params);
+    Manager single(n);
+    const Bdd fc = converged.from_truth_table(ft);
+    const Bdd fs = single.from_truth_table(ft);
+    converged.sift();
+    single.sift();
+    EXPECT_GE(converged.reorder_stats().passes, 1u);
+    EXPECT_GE(single.reorder_stats().passes, 1u);
+    EXPECT_EQ(single.reorder_stats().passes, 1u);
+    // Converging can only match or beat a single pass.
+    EXPECT_LE(converged.live_node_count(), single.live_node_count());
+    EXPECT_EQ(converged.to_truth_table(fc, n), ft);
+    EXPECT_EQ(converged.check_integrity(), "");
+    EXPECT_TRUE(fs.valid());
+}
+
+TEST(Reorder, SiftReportsSwapTelemetry) {
+    const int n = 9;
+    std::mt19937_64 rng(97);
+    Manager mgr(n);
+    const Bdd f = mgr.from_truth_table(TruthTable::random(n, rng));
+    mgr.sift();
+    const ReorderStats& rs = mgr.reorder_stats();
+    EXPECT_GT(rs.swaps + rs.fast_swaps, 0u);
+    EXPECT_EQ(rs.passes, 1u);
+    EXPECT_TRUE(f.valid());
+}
+
 }  // namespace
 }  // namespace bdsmaj::bdd

@@ -175,5 +175,55 @@ TEST(Flow, XorIntensiveCircuitKeepsXorAlphabet) {
     EXPECT_GE(s.xor_nodes + s.xnor_nodes, 15);
 }
 
+// ---------------------------------------------------------------------------
+// ManagerParams plumbing: DecompFlowParams::manager must reach the
+// per-supernode managers, and the flow must surface their reordering
+// telemetry through EngineStats.
+// ---------------------------------------------------------------------------
+
+TEST(Flow, ManagerParamsReachTheSupernodeManagers) {
+    const Network input = random_control(12, 4, 60, 0xf10e);
+    DecompFlowParams defaults;
+    const DecompFlowResult with_sift = decompose_network(input, defaults);
+    EXPECT_GT(with_sift.engine_stats.sift_swaps +
+                  with_sift.engine_stats.sift_fast_swaps,
+              0ll)
+        << "default flow should report reordering effort";
+    EXPECT_GT(with_sift.engine_stats.peak_bdd_nodes, 0ll);
+
+    // sift_max_vars = 0 empties every pass's schedule: the managers still
+    // sift() but perform no swaps — observable only if the params actually
+    // arrived.
+    DecompFlowParams capped;
+    capped.manager.sift_max_vars = 0;
+    const DecompFlowResult no_swaps = decompose_network(input, capped);
+    EXPECT_EQ(no_swaps.engine_stats.sift_swaps, 0ll);
+    EXPECT_EQ(no_swaps.engine_stats.sift_fast_swaps, 0ll);
+    EXPECT_TRUE(net::check_equivalent(input, no_swaps.network).equivalent);
+    EXPECT_TRUE(net::check_equivalent(input, with_sift.network).equivalent);
+}
+
+TEST(Flow, ConvergingSiftFlowStaysEquivalent) {
+    const Network input = ripple_adder(5);
+    DecompFlowParams params;
+    params.manager.sift_converge = true;
+    const DecompFlowResult r = decompose_network(input, params);
+    EXPECT_TRUE(net::check_equivalent(input, r.network).equivalent);
+}
+
+TEST(Flow, ReorderTelemetryIsDeterministicAcrossJobCounts) {
+    const Network input = random_control(14, 5, 90, 0xabc);
+    DecompFlowParams p1;
+    p1.jobs = 1;
+    DecompFlowParams p4;
+    p4.jobs = 4;
+    const DecompFlowResult r1 = decompose_network(input, p1);
+    const DecompFlowResult r4 = decompose_network(input, p4);
+    EXPECT_EQ(r1.engine_stats.sift_swaps, r4.engine_stats.sift_swaps);
+    EXPECT_EQ(r1.engine_stats.sift_fast_swaps, r4.engine_stats.sift_fast_swaps);
+    EXPECT_EQ(r1.engine_stats.sift_lb_aborts, r4.engine_stats.sift_lb_aborts);
+    EXPECT_EQ(r1.engine_stats.peak_bdd_nodes, r4.engine_stats.peak_bdd_nodes);
+}
+
 }  // namespace
 }  // namespace bdsmaj::decomp

@@ -11,6 +11,9 @@
 //   --map-out FILE                write the mapped netlist as BLIF
 //   --no-maj                      shorthand for --flow bdspga
 //   --no-reorder                  skip per-supernode sifting
+//   --sift-max-growth F           abort a sift direction past F x best size
+//   --sift-converge               repeat sift passes until <1% gain
+//   --sift-max-vars N             sift at most N variables per pass
 //   --k-local F / --k-global F    majority selection sizing factors
 //   --iterations N                balancing iteration limit
 //   --jobs N                      per-run worker budget (0 = all cores);
@@ -78,6 +81,9 @@ struct Options {
     int pool = 0;
     int max_jobs = 0;
     decomp::MajDecompParams maj;
+    /// Per-supernode BDD manager tuning (reordering budget). Carried by
+    /// the service too, so batch mode supports these flags.
+    bdd::ManagerParams manager;
 };
 
 int usage() {
@@ -85,6 +91,8 @@ int usage() {
                  "usage: bdsmaj_cli [--flow bdsmaj|bdspga|abc|dc] [--out f.blif]\n"
                  "                  [--preset NAME] [--list-presets]\n"
                  "                  [--map-out f.blif] [--no-maj] [--no-reorder]\n"
+                 "                  [--sift-max-growth F] [--sift-converge]\n"
+                 "                  [--sift-max-vars N]\n"
                  "                  [--k-local F] [--k-global F] [--iterations N]\n"
                  "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
                  "                  [--batch] [--pool N] [--max-jobs N]\n"
@@ -131,6 +139,13 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
             if (e.npn_cache_hits + e.npn_cache_misses > 0) {
                 std::printf("  npn cache: hits=%lld misses=%lld\n", e.npn_cache_hits,
                             e.npn_cache_misses);
+            }
+            // Reordering effort across the supernode managers.
+            if (e.sift_swaps + e.sift_fast_swaps + e.sift_lb_aborts > 0) {
+                std::printf("  reorder: swaps=%lld fast-swaps=%lld lb-aborts=%lld "
+                            "peak-bdd-nodes=%lld\n",
+                            e.sift_swaps, e.sift_fast_swaps, e.sift_lb_aborts,
+                            e.peak_bdd_nodes);
             }
         }
     }
@@ -187,6 +202,7 @@ int run_batch(const Options& opt) {
     jp.jobs = opt.jobs;
     jp.flow = opt.flow;
     jp.preset = opt.preset;
+    jp.manager = opt.manager;
 
     std::vector<flows::SynthesisService::Submission> submissions;
     submissions.reserve(inputs.size());
@@ -255,6 +271,16 @@ int main(int argc, char** argv) {
         } else if (arg == "--no-reorder") {
             opt.reorder = false;
             opt.tuned = true;
+        } else if (arg == "--sift-max-growth") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.manager.sift_max_growth = std::atof(v);
+        } else if (arg == "--sift-converge") {
+            opt.manager.sift_converge = true;
+        } else if (arg == "--sift-max-vars") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.manager.sift_max_vars = std::atoi(v);
         } else if (arg == "--k-local") {
             const char* v = next();
             if (v == nullptr) return usage();
@@ -329,6 +355,7 @@ int main(int argc, char** argv) {
         params.engine.use_majority = opt.flow == "bdsmaj";
         params.engine.maj = opt.maj;
         params.engine.preset = opt.preset;
+        params.manager = opt.manager;
         params.reorder = opt.reorder;
         params.jobs = opt.jobs;
         decomp::DecompFlowResult d = decomp::decompose_network(input, params);

@@ -89,6 +89,28 @@ for section in ("table2_synthesis", "ablation_mdom"):
                         f"results changed:\n  committed {committed[section]['fingerprint']}"
                         f"\n  fresh     {fresh[section]['fingerprint']}")
 
+# Reordering: the interaction/lower-bound machinery must not move the
+# final variable orders (post-sift node counts are the fingerprint), and
+# the avoided-swap fraction on the MCNC sweep is a contract of the
+# optimization, not just telemetry.
+reorder = fresh.get("reorder")
+if reorder is None:
+    failures.append("reorder: section missing from fresh bench run")
+else:
+    committed_reorder = committed.get("reorder")
+    if committed_reorder is None:
+        failures.append("reorder: section missing from committed "
+                        "smoke_reference — regenerate BENCH_core.json")
+    elif committed_reorder["post_sift_nodes"] != reorder["post_sift_nodes"]:
+        failures.append("reorder: post-sift node-count fingerprint drifted — "
+                        "sifting now produces different variable orders:\n"
+                        f"  committed {committed_reorder['post_sift_nodes']}\n"
+                        f"  fresh     {reorder['post_sift_nodes']}")
+    if reorder["mcnc_skipped_or_pruned_fraction"] <= 0.5:
+        failures.append("reorder: <50% of attempted swaps skipped or pruned "
+                        f"on the MCNC sweep "
+                        f"({reorder['mcnc_skipped_or_pruned_fraction']:.1%})")
+
 # Thread-count determinism: the parallel pipeline must produce identical
 # outputs at jobs = 1/2/4. The harness compares the per-level fingerprints
 # itself; any mismatch (in particular jobs=4 vs jobs=1) fails the gate.
