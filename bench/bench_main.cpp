@@ -31,6 +31,14 @@
 //                  contractually byte-identical to the published ladder)
 //                  and if `exact-aggressive` stops strictly beating
 //                  `paper` on mapped gates.
+//   * oracle     — the equivalence-oracle shootout: multiplier circuits
+//                  (the BDD-hostile workload) decomposed once, then the
+//                  result signed off by the SAT engine and — where the
+//                  monolithic BDD is still tractable — by the BDD engine,
+//                  with per-circuit wall times, fraiging telemetry, and a
+//                  verdict fingerprint (equivalent/exact per circuit).
+//                  tools/ci.sh fails on verdict drift and on a >tolerance
+//                  SAT wall-time regression.
 //
 // Fingerprints (gate counts, EngineStats) are recorded alongside the wall
 // times so that perf work can be checked to leave synthesis results
@@ -55,12 +63,15 @@
 
 #include "bdd/bdd.hpp"
 #include "mdom_sweep.hpp"
+#include "benchgen/arith.hpp"
+#include "benchgen/mcnc.hpp"
 #include "benchgen/suite.hpp"
 #include "decomp/flow.hpp"
 #include "decomp/strategy.hpp"
 #include "flows/flows.hpp"
 #include "flows/service.hpp"
 #include "mapping/mapper.hpp"
+#include "network/cec.hpp"
 #include "network/simulate.hpp"
 #include "runtime/scheduler.hpp"
 #include "tt/truth_table.hpp"
@@ -522,6 +533,74 @@ std::vector<PresetEntry> bench_preset_sweep() {
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Equivalence-oracle shootout: SAT vs BDD sign-off on multiplier circuits.
+// ---------------------------------------------------------------------------
+
+struct OracleEntry {
+    std::string name;
+    int inputs = 0;
+    double sat_seconds = 0;
+    double bdd_seconds = -1;  ///< -1: monolithic BDD intractable, not run
+    bool equivalent = false;  ///< fingerprint (with `exact`): ci.sh gates drift
+    bool exact = false;
+    std::uint64_t proved_internal = 0;  ///< fraiging cut-points (telemetry)
+    std::uint64_t sat_calls = 0;
+};
+
+std::vector<OracleEntry> bench_oracle(bool smoke) {
+    // Multipliers are the canonical BDD-hostile family: their monolithic
+    // BDDs are exponential in any variable order, which is exactly why the
+    // old sign-off silently downgraded to random simulation above 26
+    // inputs. bdd_feasible marks the widths where building the global BDD
+    // is still tractable, so the shootout records a direct head-to-head
+    // there and an honest "not run" elsewhere.
+    struct Case {
+        const char* name;
+        net::Network network;
+        bool bdd_feasible;
+    };
+    std::vector<Case> cases;
+    if (smoke) {
+        cases.push_back({"wallace8", benchgen::make_wallace_multiplier(8), true});
+        cases.push_back({"array16", benchgen::make_array_multiplier(16), false});
+    } else {
+        cases.push_back({"wallace8", benchgen::make_wallace_multiplier(8), true});
+        cases.push_back({"wallace12", benchgen::make_wallace_multiplier(12), true});
+        cases.push_back({"wallace16", benchgen::make_wallace_multiplier(16), false});
+        cases.push_back({"C6288", benchgen::make_c6288(), false});
+    }
+    std::vector<OracleEntry> out;
+    for (Case& c : cases) {
+        const decomp::DecompFlowResult d = decomp::run_bdsmaj(c.network);
+        OracleEntry entry;
+        entry.name = c.name;
+        entry.inputs = static_cast<int>(c.network.inputs().size());
+        {
+            net::CecStats stats;
+            const auto start = Clock::now();
+            const net::EquivalenceResult eq =
+                net::sat_equivalent(c.network, d.network, {}, &stats);
+            entry.sat_seconds = seconds_since(start);
+            entry.equivalent = eq.equivalent;
+            entry.exact = eq.exact;
+            entry.proved_internal = stats.proved_internal;
+            entry.sat_calls = stats.sat_calls;
+        }
+        if (c.bdd_feasible) {
+            const auto start = Clock::now();
+            const net::EquivalenceResult eq = net::bdd_equivalent(c.network, d.network);
+            entry.bdd_seconds = seconds_since(start);
+            // Both engines must agree; a disagreement is a verdict-drift
+            // failure downstream in ci.sh (fingerprint stores the SAT
+            // verdict, so poison it here).
+            if (eq.equivalent != entry.equivalent) entry.equivalent = false;
+        }
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -596,6 +675,24 @@ int main(int argc, char** argv) {
                     p.mapped_gates, p.equivalent, p.circuits);
     }
 
+    std::printf("bench_core: equivalence oracle shootout%s...\n",
+                smoke ? " (smoke widths)" : "");
+    const std::vector<OracleEntry> oracle = bench_oracle(smoke);
+    for (const OracleEntry& o : oracle) {
+        if (o.bdd_seconds >= 0) {
+            std::printf("  %-10s %2d inputs: SAT %7.1f ms, BDD %8.1f ms "
+                        "(%.1fx), %s\n",
+                        o.name.c_str(), o.inputs, o.sat_seconds * 1e3,
+                        o.bdd_seconds * 1e3, o.bdd_seconds / o.sat_seconds,
+                        o.equivalent && o.exact ? "proved" : "FAILED");
+        } else {
+            std::printf("  %-10s %2d inputs: SAT %7.1f ms, BDD intractable, "
+                        "%s\n",
+                        o.name.c_str(), o.inputs, o.sat_seconds * 1e3,
+                        o.equivalent && o.exact ? "proved" : "FAILED");
+        }
+    }
+
     const bdd::CacheStats cs = [] {
         bdd::Manager mgr(10);
         std::mt19937_64 rng(7);
@@ -612,7 +709,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v6\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v7\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     // Honesty marker: on a 1-hardware-thread container the scaling and
     // service sections can only demonstrate determinism, never speedup.
@@ -735,6 +832,29 @@ int main(int argc, char** argv) {
                      i + 1 < presets.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"oracle\": {\n");
+    std::fprintf(f, "    \"circuits\": [\n");
+    {
+        double sat_total = 0;
+        for (const OracleEntry& o : oracle) sat_total += o.sat_seconds;
+        for (std::size_t i = 0; i < oracle.size(); ++i) {
+            const OracleEntry& o = oracle[i];
+            std::fprintf(f,
+                         "      {\"name\": \"%s\", \"inputs\": %d, "
+                         "\"sat_seconds\": %.4f, \"bdd_seconds\": %.4f, "
+                         "\"proved_internal\": %llu, \"sat_calls\": %llu, "
+                         "\"fingerprint\": {\"equivalent\": %s, \"exact\": %s}}%s\n",
+                         o.name.c_str(), o.inputs, o.sat_seconds, o.bdd_seconds,
+                         static_cast<unsigned long long>(o.proved_internal),
+                         static_cast<unsigned long long>(o.sat_calls),
+                         o.equivalent ? "true" : "false",
+                         o.exact ? "true" : "false",
+                         i + 1 < oracle.size() ? "," : "");
+        }
+        std::fprintf(f, "    ],\n");
+        std::fprintf(f, "    \"sat_total_seconds\": %.4f\n", sat_total);
+    }
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"cache\": {\n");
     std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(cs.hits));

@@ -303,6 +303,17 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
 
     result.supernode_count = static_cast<int>(supernodes.size());
     result.network = params.final_cleanup ? net::cleanup(out) : std::move(out);
+    if (params.self_check) {
+        net::CecParams cec;
+        cec.engine = params.oracle;
+        net::EquivalenceResult eq = net::check_equivalent(input, result.network, cec);
+        if (!eq.equivalent) {
+            throw std::runtime_error("decompose_network: self-check failed (engine " +
+                                     std::string(net::equiv_engine_name(eq.engine)) +
+                                     "): " + eq.reason);
+        }
+        result.equivalence = std::move(eq);
+    }
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return result;

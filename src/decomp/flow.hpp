@@ -18,11 +18,13 @@
 // docs/performance.md, "Parallel pipeline").
 
 #include <atomic>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "decomp/engine.hpp"
 #include "decomp/partition.hpp"
+#include "network/cec.hpp"
 #include "network/network.hpp"
 
 namespace bdsmaj::decomp {
@@ -63,6 +65,15 @@ struct DecompFlowParams {
     /// checkpoint — before decomposing or replaying another supernode —
     /// and throws FlowCancelled. Null = not cancellable.
     const std::atomic<bool>* cancel = nullptr;
+    /// Equivalence engine for the optional sign-off below (and for callers
+    /// that verify externally and want one knob to thread through).
+    net::EquivEngine oracle = net::EquivEngine::kAuto;
+    /// Verify the decomposed network against the input before returning.
+    /// The verdict lands in DecompFlowResult::equivalence; an inequivalent
+    /// result (an engine bug) throws std::runtime_error carrying the
+    /// counterexample description. With any engine but kSim the sign-off
+    /// is exact at every input width.
+    bool self_check = false;
 };
 
 struct DecompFlowResult {
@@ -70,6 +81,9 @@ struct DecompFlowResult {
     EngineStats engine_stats;
     int supernode_count = 0;
     double seconds = 0.0;
+    /// Oracle verdict when DecompFlowParams::self_check was set (always
+    /// `equivalent`, or decompose_network would have thrown).
+    std::optional<net::EquivalenceResult> equivalence;
 };
 
 /// Decompose `input` with the BDS-MAJ engine. The result is functionally

@@ -1,6 +1,7 @@
 #include "flows/flows.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "aig/convert.hpp"
 #include "aig/opt.hpp"
@@ -16,6 +17,28 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+}  // namespace
+
+void verify_synthesis_result(const net::Network& input, SynthesisResult& result,
+                             net::EquivEngine oracle) {
+    const auto start = Clock::now();
+    net::CecParams cec;
+    cec.engine = oracle;
+    for (const net::Network* stage :
+         {&result.optimized, &result.mapped.netlist}) {
+        net::EquivalenceResult eq = net::check_equivalent(input, *stage, cec);
+        if (!eq.equivalent) {
+            throw std::runtime_error(
+                result.flow_name + ": verification failed (engine " +
+                net::equiv_engine_name(eq.engine) + "): " + eq.reason);
+        }
+        result.equivalence = std::move(eq);
+    }
+    result.verify_seconds = seconds_since(start);
+}
+
+namespace {
 
 SynthesisResult from_decomposition(std::string name, const net::Network& input,
                                    bool use_majority, const FlowOptions& options) {
@@ -36,6 +59,7 @@ SynthesisResult from_decomposition(std::string name, const net::Network& input,
     result.optimized_stats = result.optimized.stats();
     result.optimize_seconds = seconds_since(start);
     result.mapped = mapping::map_network(result.optimized, default_library());
+    if (options.verify) verify_synthesis_result(input, result, options.oracle);
     return result;
 }
 
@@ -108,6 +132,13 @@ std::vector<SynthesisResult> run_all_flows(const net::Network& input,
     out.push_back(flow_abc(input));
     checkpoint();
     out.push_back(flow_dc(input));
+    if (options.verify) {
+        // The BDS flows signed off inside from_decomposition; ABC and DC
+        // take no options, so their sign-off happens here.
+        verify_synthesis_result(input, out[2], options.oracle);
+        checkpoint();
+        verify_synthesis_result(input, out[3], options.oracle);
+    }
     return out;
 }
 

@@ -10,10 +10,12 @@
 //               area effort (see DESIGN.md §4 for the substitution rationale)
 
 #include <atomic>
+#include <optional>
 #include <string>
 
 #include "decomp/flow.hpp"
 #include "mapping/mapper.hpp"
+#include "network/cec.hpp"
 #include "network/network.hpp"
 
 namespace bdsmaj::flows {
@@ -36,6 +38,14 @@ struct FlowOptions {
     /// the BDS decomposition (decomp::FlowCancelled propagates out) and
     /// between circuits in run_suite. Null = not cancellable.
     const std::atomic<bool>* cancel = nullptr;
+    /// Equivalence engine for the sign-off below.
+    net::EquivEngine oracle = net::EquivEngine::kAuto;
+    /// Verify each flow's optimized network AND mapped netlist against the
+    /// input before returning (all four flows, not just BDS). The mapped
+    /// verdict lands in SynthesisResult::equivalence; an inequivalent
+    /// result throws std::runtime_error with the counterexample. Exact at
+    /// any input width for every engine but kSim.
+    bool verify = false;
 };
 
 struct SynthesisResult {
@@ -45,10 +55,24 @@ struct SynthesisResult {
     mapping::MappedResult mapped;
     double optimize_seconds = 0.0;
     decomp::EngineStats engine_stats;  ///< BDS flows only
+    /// Oracle verdict for input vs mapped netlist when FlowOptions::verify
+    /// was set (always `equivalent`, or the flow would have thrown);
+    /// `verify_seconds` is the total sign-off time (both checks).
+    std::optional<net::EquivalenceResult> equivalence;
+    double verify_seconds = 0.0;
 };
 
 /// The library shared by all flows (paper SV-B1).
 [[nodiscard]] const mapping::CellLibrary& default_library();
+
+/// The sign-off behind FlowOptions::verify, exposed for callers that run
+/// flows without options (the service's single-flow ABC/DC jobs, the
+/// CLI): verifies `result.optimized` and `result.mapped.netlist` against
+/// `input` with the chosen oracle, throws std::runtime_error carrying the
+/// counterexample on mismatch, and records the mapped verdict (plus the
+/// sign-off wall time) in the result.
+void verify_synthesis_result(const net::Network& input, SynthesisResult& result,
+                             net::EquivEngine oracle = net::EquivEngine::kAuto);
 
 /// Flow-name decoration for non-default presets ("BDS-MAJ" ->
 /// "BDS-MAJ(exact-aggressive)"); shared by the flows and the CLI so the

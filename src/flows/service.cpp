@@ -25,12 +25,18 @@ FlowSel parse_flow(const std::string& name) {
 
 std::vector<SynthesisResult> run_flows_one(const net::Network& input, FlowSel sel,
                                            const FlowOptions& options) {
+    // ABC/DC take no options; their sign-off (run_all_flows does it for
+    // the "all" case, from_decomposition for the BDS flows) happens here.
+    const auto signed_off = [&](SynthesisResult r) {
+        if (options.verify) verify_synthesis_result(input, r, options.oracle);
+        return std::vector<SynthesisResult>{std::move(r)};
+    };
     switch (sel) {
         case FlowSel::kAll: return run_all_flows(input, options);
         case FlowSel::kBdsMaj: return {flow_bdsmaj(input, options)};
         case FlowSel::kBdsPga: return {flow_bdspga(input, options)};
-        case FlowSel::kAbc: return {flow_abc(input)};
-        case FlowSel::kDc: return {flow_dc(input)};
+        case FlowSel::kAbc: return signed_off(flow_abc(input));
+        case FlowSel::kDc: return signed_off(flow_dc(input));
     }
     return {};
 }
@@ -136,6 +142,8 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
         options.preset = job->params.preset;
         options.manager = job->params.manager;
         options.cancel = &job->cancel_requested;
+        options.oracle = job->params.oracle;
+        options.verify = job->params.verify;
         out.results.resize(job->inputs.size());
         if (job->inputs.size() <= 1) {
             // Single network: the whole budget goes to supernode-level

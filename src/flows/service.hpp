@@ -71,6 +71,14 @@ struct SynthesisJobParams {
     /// budget; see bdd::ManagerParams). Defaults keep preset fingerprints.
     bdd::ManagerParams manager;
     JobPriority priority = JobPriority::kNormal;
+    /// Equivalence engine for the optional sign-off below.
+    net::EquivEngine oracle = net::EquivEngine::kAuto;
+    /// Verify every produced network (optimized + mapped, all requested
+    /// flows) against its input inside the job. A verification failure
+    /// fails the job (status kFailed; the error surfaces on the future) —
+    /// the service never hands out an unverified wrong network. Verdicts
+    /// land in SynthesisResult::equivalence.
+    bool verify = false;
 };
 
 struct FlowResult {

@@ -1,15 +1,85 @@
 #include "network/simulate.hpp"
 
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
 namespace bdsmaj::net {
 
+const char* equiv_engine_name(EquivEngine engine) {
+    switch (engine) {
+        case EquivEngine::kAuto: return "auto";
+        case EquivEngine::kBdd: return "bdd";
+        case EquivEngine::kSat: return "sat";
+        case EquivEngine::kSim: return "sim";
+    }
+    return "?";
+}
+
+EquivEngine parse_equiv_engine(const std::string& name) {
+    if (name == "auto") return EquivEngine::kAuto;
+    if (name == "bdd") return EquivEngine::kBdd;
+    if (name == "sat") return EquivEngine::kSat;
+    if (name == "sim") return EquivEngine::kSim;
+    throw std::invalid_argument("unknown equivalence engine \"" + name +
+                                "\" (expected auto|bdd|sat|sim)");
+}
+
+std::string describe_counterexample(const Network& a, int output_index,
+                                    const std::vector<bool>& pattern,
+                                    bool value_a, bool value_b) {
+    std::ostringstream os;
+    os << "output " << a.outputs()[static_cast<std::size_t>(output_index)].name
+       << " (index " << output_index << ") differs: a=" << (value_a ? 1 : 0)
+       << " b=" << (value_b ? 1 : 0) << " under";
+    constexpr std::size_t kMaxListed = 48;
+    for (std::size_t i = 0; i < pattern.size() && i < kMaxListed; ++i) {
+        os << ' ' << a.node(a.inputs()[i]).name << '=' << (pattern[i] ? 1 : 0);
+    }
+    if (pattern.size() > kMaxListed) {
+        os << " ... (" << pattern.size() - kMaxListed << " more)";
+    }
+    return os.str();
+}
+
+EquivalenceResult verified_counterexample(const Network& a, const Network& b,
+                                          int output_index,
+                                          std::vector<bool> pattern,
+                                          const char* origin,
+                                          EquivEngine engine) {
+    // Sign the witness by single-pattern re-simulation of both networks:
+    // whatever engine produced it, the verdict the caller sees is backed
+    // by the reference simulator.
+    const std::vector<bool> va = simulate(a, pattern);
+    const std::vector<bool> vb = simulate(b, pattern);
+    const std::size_t o = static_cast<std::size_t>(output_index);
+    if (va[o] == vb[o]) {
+        throw std::logic_error(std::string("equivalence checker bug: ") + origin +
+                               " counterexample failed re-simulation");
+    }
+    EquivalenceResult r;
+    r.equivalent = false;
+    r.exact = true;
+    r.engine = engine;
+    r.failing_output = output_index;
+    r.reason = describe_counterexample(a, output_index, pattern, va[o], vb[o]);
+    r.counterexample = std::move(pattern);
+    return r;
+}
+
 namespace {
 
-/// Simulation core over a precomputed topological order, writing node
-/// values into a caller-owned buffer. Multi-round callers (the random
-/// equivalence check) hoist the order and the buffers out of the loop.
+EquivalenceResult shape_mismatch(std::string reason, EquivEngine engine) {
+    EquivalenceResult r;
+    r.equivalent = false;
+    r.exact = true;  // structural: no input pattern needed
+    r.engine = engine;
+    r.reason = std::move(reason);
+    return r;
+}
+
+}  // namespace
+
 void simulate_words_into(const Network& network, const std::vector<NodeId>& order,
                          const std::vector<std::uint64_t>& pi_words,
                          std::vector<std::uint64_t>& value,
@@ -49,8 +119,6 @@ void simulate_words_into(const Network& network, const std::vector<NodeId>& orde
     }
 }
 
-}  // namespace
-
 std::vector<std::uint64_t> simulate_words(const Network& network,
                                           const std::vector<std::uint64_t>& pi_words) {
     if (pi_words.size() != network.inputs().size()) {
@@ -79,10 +147,10 @@ std::vector<bool> simulate(const Network& network, const std::vector<bool>& pi_v
 EquivalenceResult random_equivalent(const Network& a, const Network& b, int rounds,
                                     std::uint64_t seed) {
     if (a.inputs().size() != b.inputs().size()) {
-        return {false, "input counts differ"};
+        return shape_mismatch("input counts differ", EquivEngine::kSim);
     }
     if (a.outputs().size() != b.outputs().size()) {
-        return {false, "output counts differ"};
+        return shape_mismatch("output counts differ", EquivEngine::kSim);
     }
     std::mt19937_64 rng(seed);
     std::vector<std::uint64_t> stimulus(a.inputs().size());
@@ -96,15 +164,25 @@ EquivalenceResult random_equivalent(const Network& a, const Network& b, int roun
         simulate_words_into(a, order_a, stimulus, value_a, fanin_words);
         simulate_words_into(b, order_b, stimulus, value_b, fanin_words);
         for (std::size_t o = 0; o < a.outputs().size(); ++o) {
-            if (value_a[a.outputs()[o].driver] != value_b[b.outputs()[o].driver]) {
-                std::ostringstream os;
-                os << "output " << a.outputs()[o].name << " differs (round "
-                   << round << ")";
-                return {false, os.str()};
+            const std::uint64_t diff = value_a[a.outputs()[o].driver] ^
+                                       value_b[b.outputs()[o].driver];
+            if (diff != 0) {
+                const int bit = std::countr_zero(diff);
+                std::vector<bool> pattern(stimulus.size());
+                for (std::size_t i = 0; i < stimulus.size(); ++i) {
+                    pattern[i] = ((stimulus[i] >> bit) & 1) != 0;
+                }
+                return verified_counterexample(a, b, static_cast<int>(o),
+                                               std::move(pattern), "simulation",
+                                               EquivEngine::kSim);
             }
         }
     }
-    return {true, {}};
+    EquivalenceResult r;
+    r.equivalent = true;
+    r.exact = false;  // sampled agreement only — never a proof
+    r.engine = EquivEngine::kSim;
+    return r;
 }
 
 std::vector<bdd::Bdd> network_to_bdds(const Network& network, bdd::Manager& mgr) {
@@ -147,31 +225,40 @@ std::vector<bdd::Bdd> network_to_bdds(const Network& network, bdd::Manager& mgr)
 
 EquivalenceResult bdd_equivalent(const Network& a, const Network& b) {
     if (a.inputs().size() != b.inputs().size()) {
-        return {false, "input counts differ"};
+        return shape_mismatch("input counts differ", EquivEngine::kBdd);
     }
     if (a.outputs().size() != b.outputs().size()) {
-        return {false, "output counts differ"};
+        return shape_mismatch("output counts differ", EquivEngine::kBdd);
     }
     bdd::Manager mgr(static_cast<int>(a.inputs().size()));
     const std::vector<bdd::Bdd> fa = network_to_bdds(a, mgr);
     const std::vector<bdd::Bdd> fb = network_to_bdds(b, mgr);
     for (std::size_t o = 0; o < fa.size(); ++o) {
         if (!(fa[o] == fb[o])) {
-            return {false, "output " + a.outputs()[o].name + " differs (BDD)"};
+            // Walk the difference function down to a satisfying minterm:
+            // at each variable take any cofactor that stays satisfiable.
+            bdd::Bdd diff = mgr.apply_xor(fa[o], fb[o]);
+            std::vector<bool> pattern(a.inputs().size(), false);
+            for (int v = 0; v < static_cast<int>(a.inputs().size()); ++v) {
+                const bdd::Bdd lo = mgr.cofactor(diff, v, false);
+                if (!(lo == mgr.zero())) {
+                    pattern[static_cast<std::size_t>(v)] = false;
+                    diff = lo;
+                } else {
+                    pattern[static_cast<std::size_t>(v)] = true;
+                    diff = mgr.cofactor(diff, v, true);
+                }
+            }
+            return verified_counterexample(a, b, static_cast<int>(o),
+                                           std::move(pattern), "BDD",
+                                           EquivEngine::kBdd);
         }
     }
-    return {true, {}};
-}
-
-EquivalenceResult check_equivalent(const Network& a, const Network& b,
-                                   int exact_input_limit, int random_rounds,
-                                   std::uint64_t seed) {
-    const EquivalenceResult fast = random_equivalent(a, b, random_rounds, seed);
-    if (!fast.equivalent) return fast;
-    if (static_cast<int>(a.inputs().size()) <= exact_input_limit) {
-        return bdd_equivalent(a, b);
-    }
-    return fast;
+    EquivalenceResult r;
+    r.equivalent = true;
+    r.exact = true;
+    r.engine = EquivEngine::kBdd;
+    return r;
 }
 
 }  // namespace bdsmaj::net

@@ -1,11 +1,14 @@
 #pragma once
 // Network simulation and equivalence checking.
 //
-// Two complementary engines:
+// Three complementary engines:
 //   * 64-way bit-parallel random simulation (fast falsification on any size)
-//   * exact equivalence through shared-manager BDD construction (networks
-//     with a moderate number of inputs), which every flow in this repo uses
-//     as its final functional sign-off.
+//   * exact equivalence through shared-manager BDD construction (tiny
+//     input counts only — the global BDD of a multiplier is intrinsically
+//     exponential)
+//   * the simulation-guided SAT oracle (network/cec.hpp): CNF miters over
+//     an in-repo CDCL solver, exact at any input count — the default
+//     sign-off used by every flow, test, and bench in this repo.
 
 #include <cstdint>
 #include <optional>
@@ -55,30 +58,69 @@ template <typename FaninFn>
 [[nodiscard]] std::vector<std::uint64_t> simulate_words(
     const Network& network, const std::vector<std::uint64_t>& pi_words);
 
+/// Simulation core over a precomputed topological order, writing every
+/// node's 64-pattern word into a caller-owned buffer (indexed by NodeId).
+/// Multi-round callers — the random equivalence check and the SAT
+/// checker's signature rounds — hoist the order and the buffers out of
+/// their loops. `fanin_words` is reusable SOP-evaluation scratch.
+void simulate_words_into(const Network& network, const std::vector<NodeId>& order,
+                         const std::vector<std::uint64_t>& pi_words,
+                         std::vector<std::uint64_t>& value,
+                         std::vector<std::uint64_t>& fanin_words);
+
 /// Single-pattern convenience wrapper.
 [[nodiscard]] std::vector<bool> simulate(const Network& network,
                                          const std::vector<bool>& pi_values);
 
+/// Equivalence-checking engine. kAuto refutes by simulation first, then
+/// proves with a BDD on tiny input counts and the SAT miter sweep
+/// everywhere else; kSim alone never *proves* anything (exact stays
+/// false on agreement).
+enum class EquivEngine : std::uint8_t { kAuto, kBdd, kSat, kSim };
+
+[[nodiscard]] const char* equiv_engine_name(EquivEngine engine);
+/// Parse "auto" / "bdd" / "sat" / "sim"; throws std::invalid_argument.
+[[nodiscard]] EquivEngine parse_equiv_engine(const std::string& name);
+
 /// Result of an equivalence query.
 struct EquivalenceResult {
     bool equivalent = false;
+    /// True when the verdict is a proof: an exhaustive BDD/SAT argument,
+    /// or a concrete re-simulated counterexample. False means the verdict
+    /// is only sampled (random simulation agreed) — callers asserting
+    /// sign-off must check this, not just `equivalent`.
+    bool exact = false;
+    /// Engine that produced the verdict (never kAuto).
+    EquivEngine engine = EquivEngine::kSim;
     std::string reason;  // human-readable mismatch description
+    /// On inequivalence with a known witness: the failing primary-input
+    /// assignment (positionally indexed) and the differing output port.
+    std::vector<bool> counterexample;
+    int failing_output = -1;
 };
 
 /// Random simulation with `rounds` x 64 patterns. Inputs/outputs are
-/// matched positionally; PI and PO counts must agree.
+/// matched positionally; PI and PO counts must agree. A mismatch comes
+/// with a re-verified counterexample pattern (exact refutation);
+/// agreement is only sampled (exact = false).
 [[nodiscard]] EquivalenceResult random_equivalent(const Network& a,
                                                   const Network& b, int rounds,
                                                   std::uint64_t seed);
 
 /// Exact equivalence by building both networks' output BDDs in one manager.
-/// Practical up to a few tens of inputs on these benchmark classes.
+/// Practical only for tiny input counts on these benchmark classes (the
+/// multiplier BDD is exponential); inequivalence comes with a
+/// counterexample pattern extracted from the difference BDD.
 [[nodiscard]] EquivalenceResult bdd_equivalent(const Network& a, const Network& b);
 
-/// Exact when the input count permits, random fallback otherwise: the
-/// default sign-off used by tests and flows.
+/// The default exact sign-off: simulation for fast refutation, then a BDD
+/// proof when the input count is at most `bdd_input_limit` and the SAT
+/// miter sweep (network/cec.hpp) above it. Exact at ANY input count — the
+/// historical silent downgrade to random-only verdicts on wide circuits
+/// is gone; the result's `exact` flag is always true. Implemented in
+/// network/cec.cpp; an engine-selectable overload lives in cec.hpp.
 [[nodiscard]] EquivalenceResult check_equivalent(const Network& a, const Network& b,
-                                                 int exact_input_limit = 26,
+                                                 int bdd_input_limit = 20,
                                                  int random_rounds = 64,
                                                  std::uint64_t seed = 0x5eed);
 
@@ -87,5 +129,18 @@ struct EquivalenceResult {
 /// BDDs for verification and for the DC-proxy collapse.
 [[nodiscard]] std::vector<bdd::Bdd> network_to_bdds(const Network& network,
                                                     bdd::Manager& mgr);
+
+/// Shared by all engines: turn a witness pattern into a refutation
+/// verdict, re-verifying it by single-pattern simulation of both networks
+/// first (throws std::logic_error if the engine's witness does not
+/// actually distinguish them — a checker bug, never a user error).
+[[nodiscard]] EquivalenceResult verified_counterexample(
+    const Network& a, const Network& b, int output_index,
+    std::vector<bool> pattern, const char* origin, EquivEngine engine);
+
+/// Human-readable description of a failing pattern (used in `reason`).
+[[nodiscard]] std::string describe_counterexample(const Network& a, int output_index,
+                                                  const std::vector<bool>& pattern,
+                                                  bool value_a, bool value_b);
 
 }  // namespace bdsmaj::net

@@ -1,0 +1,144 @@
+#include "sat/cnf.hpp"
+
+#include <stdexcept>
+
+namespace bdsmaj::sat {
+
+Lit TseitinEncoder::constant(bool value) {
+    if (const_true_ == kUndefLit) {
+        const_true_ = Lit::make(solver_.new_var());
+        (void)solver_.add_clause(const_true_);
+    }
+    return value ? const_true_ : ~const_true_;
+}
+
+Lit TseitinEncoder::encode_and(Lit a, Lit b) {
+    const Lit y = fresh();
+    (void)solver_.add_clause(~y, a);
+    (void)solver_.add_clause(~y, b);
+    (void)solver_.add_clause(y, ~a, ~b);
+    return y;
+}
+
+Lit TseitinEncoder::encode_xor(Lit a, Lit b) {
+    const Lit y = fresh();
+    (void)solver_.add_clause(~y, a, b);
+    (void)solver_.add_clause(~y, ~a, ~b);
+    (void)solver_.add_clause(y, ~a, b);
+    (void)solver_.add_clause(y, a, ~b);
+    return y;
+}
+
+Lit TseitinEncoder::encode_maj(Lit a, Lit b, Lit c) {
+    const Lit y = fresh();
+    (void)solver_.add_clause(y, ~a, ~b);
+    (void)solver_.add_clause(y, ~a, ~c);
+    (void)solver_.add_clause(y, ~b, ~c);
+    (void)solver_.add_clause(~y, a, b);
+    (void)solver_.add_clause(~y, a, c);
+    (void)solver_.add_clause(~y, b, c);
+    return y;
+}
+
+Lit TseitinEncoder::encode_mux(Lit sel, Lit then_lit, Lit else_lit) {
+    const Lit y = fresh();
+    (void)solver_.add_clause(~y, ~sel, then_lit);
+    (void)solver_.add_clause(y, ~sel, ~then_lit);
+    (void)solver_.add_clause(~y, sel, else_lit);
+    (void)solver_.add_clause(y, sel, ~else_lit);
+    // Redundant but propagation-strengthening: then == else forces y.
+    (void)solver_.add_clause(~y, then_lit, else_lit);
+    (void)solver_.add_clause(y, ~then_lit, ~else_lit);
+    return y;
+}
+
+Lit TseitinEncoder::encode_sop(const net::Sop& sop, const std::vector<Lit>& fanins) {
+    if (sop.is_const1()) return constant(true);
+    if (sop.is_const0()) return constant(false);
+
+    // One literal per cube: single-literal cubes pass through, larger ones
+    // get an AND variable t with t <-> conjunction.
+    std::vector<Lit> cube_lits;
+    cube_lits.reserve(sop.cubes().size());
+    for (const net::Cube& cube : sop.cubes()) {
+        std::vector<Lit> term;
+        for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+            if (cube.lits[i] == net::Lit::kDash) continue;
+            term.push_back(fanins[i] ^ (cube.lits[i] == net::Lit::kNeg));
+        }
+        if (term.empty()) return constant(true);  // all-dash cube
+        if (term.size() == 1) {
+            cube_lits.push_back(term[0]);
+            continue;
+        }
+        const Lit t = fresh();
+        std::vector<Lit> reverse{t};
+        for (const Lit l : term) {
+            (void)solver_.add_clause(~t, l);
+            reverse.push_back(~l);
+        }
+        (void)solver_.add_clause(std::move(reverse));
+        cube_lits.push_back(t);
+    }
+    if (cube_lits.size() == 1) return cube_lits[0];
+    // y <-> OR of the cube literals.
+    const Lit y = fresh();
+    std::vector<Lit> forward{~y};
+    for (const Lit t : cube_lits) {
+        (void)solver_.add_clause(y, ~t);
+        forward.push_back(t);
+    }
+    (void)solver_.add_clause(std::move(forward));
+    return y;
+}
+
+std::vector<Lit> TseitinEncoder::encode(const net::Network& network,
+                                        std::vector<Lit>& pi_lits,
+                                        std::vector<Lit>* node_lits) {
+    if (pi_lits.empty()) {
+        pi_lits.reserve(network.inputs().size());
+        for (std::size_t i = 0; i < network.inputs().size(); ++i) {
+            pi_lits.push_back(fresh());
+        }
+    } else if (pi_lits.size() != network.inputs().size()) {
+        throw std::invalid_argument("TseitinEncoder::encode: pi_lits size != PI count");
+    }
+
+    std::vector<Lit> value(network.node_count(), kUndefLit);
+    for (std::size_t i = 0; i < network.inputs().size(); ++i) {
+        value[network.inputs()[i]] = pi_lits[i];
+    }
+    std::vector<Lit> sop_fanins;
+    for (const net::NodeId id : network.topo_order()) {
+        const net::Node& n = network.node(id);
+        const auto in = [&](std::size_t k) { return value[n.fanins[k]]; };
+        switch (n.kind) {
+            case net::GateKind::kInput: break;
+            case net::GateKind::kConst0: value[id] = constant(false); break;
+            case net::GateKind::kConst1: value[id] = constant(true); break;
+            case net::GateKind::kBuf: value[id] = in(0); break;
+            case net::GateKind::kNot: value[id] = ~in(0); break;
+            case net::GateKind::kAnd: value[id] = encode_and(in(0), in(1)); break;
+            case net::GateKind::kOr: value[id] = encode_or(in(0), in(1)); break;
+            case net::GateKind::kNand: value[id] = ~encode_and(in(0), in(1)); break;
+            case net::GateKind::kNor: value[id] = ~encode_or(in(0), in(1)); break;
+            case net::GateKind::kXor: value[id] = encode_xor(in(0), in(1)); break;
+            case net::GateKind::kXnor: value[id] = ~encode_xor(in(0), in(1)); break;
+            case net::GateKind::kMaj: value[id] = encode_maj(in(0), in(1), in(2)); break;
+            case net::GateKind::kMux: value[id] = encode_mux(in(0), in(1), in(2)); break;
+            case net::GateKind::kSop: {
+                sop_fanins.clear();
+                for (const net::NodeId f : n.fanins) sop_fanins.push_back(value[f]);
+                value[id] = encode_sop(n.sop, sop_fanins);
+                break;
+            }
+        }
+    }
+    std::vector<Lit> outs;
+    outs.reserve(network.outputs().size());
+    for (const net::OutputPort& po : network.outputs()) outs.push_back(value[po.driver]);
+    if (node_lits != nullptr) *node_lits = std::move(value);
+    return outs;
+}
+
+}  // namespace bdsmaj::sat

@@ -1,0 +1,55 @@
+#pragma once
+// Tseitin encoding of net::Network logic into CNF. Every gate kind the
+// network representation supports — including arbitrary SOP covers — gets
+// a standard constant-size (per cube) clause set; NOT and BUF cost nothing
+// (they map to the fanin literal with adjusted polarity). One encoder can
+// encode several networks into the same solver with shared primary-input
+// variables, which is exactly how the equivalence checker builds miters.
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "sat/solver.hpp"
+
+namespace bdsmaj::sat {
+
+class TseitinEncoder {
+public:
+    explicit TseitinEncoder(Solver& solver) : solver_(solver) {}
+
+    /// Literal that is constant true/false (one shared unit-forced
+    /// variable, created on first use).
+    [[nodiscard]] Lit constant(bool value);
+
+    /// Fresh unconstrained variable as a literal.
+    [[nodiscard]] Lit fresh() { return Lit::make(solver_.new_var()); }
+
+    // Structural gates over already-encoded fanin literals. Each returns
+    // the output literal; AND/OR/XOR introduce one variable, NAND/NOR/XNOR
+    // reuse it complemented.
+    [[nodiscard]] Lit encode_and(Lit a, Lit b);
+    [[nodiscard]] Lit encode_or(Lit a, Lit b) { return ~encode_and(~a, ~b); }
+    [[nodiscard]] Lit encode_xor(Lit a, Lit b);
+    [[nodiscard]] Lit encode_maj(Lit a, Lit b, Lit c);
+    [[nodiscard]] Lit encode_mux(Lit sel, Lit then_lit, Lit else_lit);
+    [[nodiscard]] Lit encode_sop(const net::Sop& sop, const std::vector<Lit>& fanins);
+
+    /// Encode every node of `network` reachable from its outputs.
+    /// `pi_lits[i]` is the literal standing for primary input i (so two
+    /// networks encoded with the same pi_lits share their input space);
+    /// pass an empty vector to create fresh input variables in place.
+    /// Returns one literal per output port; `node_lits`, when non-null, is
+    /// filled with the literal of every reachable node (kUndefLit for
+    /// unreachable ones) for miter construction over internal points.
+    [[nodiscard]] std::vector<Lit> encode(const net::Network& network,
+                                          std::vector<Lit>& pi_lits,
+                                          std::vector<Lit>* node_lits = nullptr);
+
+    [[nodiscard]] Solver& solver() noexcept { return solver_; }
+
+private:
+    Solver& solver_;
+    Lit const_true_ = kUndefLit;
+};
+
+}  // namespace bdsmaj::sat

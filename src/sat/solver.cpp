@@ -1,0 +1,521 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bdsmaj::sat {
+
+namespace {
+
+/// Luby restart sequence (unit = 128 conflicts): 1 1 2 1 1 2 4 ...
+std::int64_t luby(std::int64_t i) {
+    // Find the finite subsequence containing index i and its size.
+    std::int64_t size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        --seq;
+        i = i % size;
+    }
+    return std::int64_t{1} << seq;
+}
+
+constexpr std::int64_t kRestartUnit = 128;
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+    const Var v = static_cast<Var>(assign_.size());
+    assign_.push_back(Value::kUndef);
+    model_.push_back(Value::kUndef);
+    reason_.push_back(kNoClause);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    heap_pos_.push_back(-1);
+    polarity_.push_back(0);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+    return v;
+}
+
+Value Solver::fixed_value(Var v) const {
+    const std::size_t i = static_cast<std::size_t>(v);
+    if (assign_[i] == Value::kUndef || level_[i] != 0) return Value::kUndef;
+    return assign_[i];
+}
+
+Solver::ClauseRef Solver::alloc_clause(const std::vector<Lit>& lits, bool learnt) {
+    const ClauseRef c = static_cast<ClauseRef>(arena_.size());
+    arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                     (learnt ? 2u : 0u));
+    if (learnt) arena_.push_back(0);  // activity slot
+    if (learnt) clause_activity(c) = 0.0f;
+    for (const Lit p : lits) arena_.push_back(static_cast<std::uint32_t>(p.x));
+    return c;
+}
+
+void Solver::attach_clause(ClauseRef c) {
+    Lit* lits = clause_lits(c);
+    watches_[static_cast<std::size_t>((~lits[0]).x)].push_back({c, lits[1]});
+    watches_[static_cast<std::size_t>((~lits[1]).x)].push_back({c, lits[0]});
+}
+
+void Solver::detach_clause(ClauseRef c) {
+    Lit* lits = clause_lits(c);
+    for (int k = 0; k < 2; ++k) {
+        auto& ws = watches_[static_cast<std::size_t>((~lits[k]).x)];
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            if (ws[i].cref == c) {
+                ws[i] = ws.back();
+                ws.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+    if (!ok_) return false;
+    // Adding clauses is only legal at level 0 (between solve() calls).
+    cancel_until(0);
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return a.x < b.x; });
+    std::vector<Lit> out;
+    out.reserve(lits.size());
+    Lit prev = kUndefLit;
+    for (const Lit p : lits) {
+        if (p == prev) continue;
+        if (p == ~prev) return true;  // tautology
+        const Value v = value(p);
+        if (v == Value::kTrue) return true;  // satisfied at level 0
+        if (v == Value::kFalse) {
+            prev = p;
+            continue;  // falsified at level 0: drop the literal
+        }
+        out.push_back(p);
+        prev = p;
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        unchecked_enqueue(out[0], kNoClause);
+        if (propagate() != kNoClause) ok_ = false;
+        return ok_;
+    }
+    const ClauseRef c = alloc_clause(out, /*learnt=*/false);
+    clauses_.push_back(c);
+    attach_clause(c);
+    return true;
+}
+
+void Solver::unchecked_enqueue(Lit p, ClauseRef reason) {
+    const std::size_t v = static_cast<std::size_t>(p.var());
+    assign_[v] = p.negated() ? Value::kFalse : Value::kTrue;
+    reason_[v] = reason;
+    level_[v] = decision_level();
+    trail_.push_back(p);
+}
+
+Solver::ClauseRef Solver::propagate() {
+    ClauseRef confl = kNoClause;
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];  // p became true
+        ++stats_.propagations;
+        auto& ws = watches_[static_cast<std::size_t>(p.x)];
+        std::size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            const Watcher w = ws[i];
+            // Blocker short-circuit: clause already satisfied.
+            if (value(w.blocker) == Value::kTrue) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            const ClauseRef c = w.cref;
+            Lit* lits = clause_lits(c);
+            const std::uint32_t size = clause_size(c);
+            // Normalize: the falsified watch (~p) goes to slot 1.
+            const Lit false_lit = ~p;
+            if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+            ++i;
+            const Lit first = lits[0];
+            if (first != w.blocker && value(first) == Value::kTrue) {
+                ws[j++] = {c, first};
+                continue;
+            }
+            bool moved = false;
+            for (std::uint32_t k = 2; k < size; ++k) {
+                if (value(lits[k]) != Value::kFalse) {
+                    lits[1] = lits[k];
+                    lits[k] = false_lit;
+                    watches_[static_cast<std::size_t>((~lits[1]).x)].push_back({c, first});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) continue;
+            // Unit or conflicting.
+            ws[j++] = {c, first};
+            if (value(first) == Value::kFalse) {
+                confl = c;
+                qhead_ = trail_.size();
+                while (i < ws.size()) ws[j++] = ws[i++];
+            } else {
+                unchecked_enqueue(first, c);
+            }
+        }
+        ws.resize(j);
+        if (confl != kNoClause) break;
+    }
+    return confl;
+}
+
+void Solver::var_bump(Var v) {
+    double& a = activity_[static_cast<std::size_t>(v)];
+    a += var_inc_;
+    if (a > 1e100) {
+        for (double& x : activity_) x *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    const int pos = heap_pos_[static_cast<std::size_t>(v)];
+    if (pos >= 0) heap_sift_up(pos);
+}
+
+void Solver::clause_bump(ClauseRef c) {
+    float& a = clause_activity(c);
+    a += static_cast<float>(cla_inc_);
+    if (a > 1e20f) {
+        for (const ClauseRef l : learnts_) {
+            if (!clause_dead(l)) clause_activity(l) *= 1e-20f;
+        }
+        cla_inc_ *= 1e-20;
+    }
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel) {
+    out_learnt.clear();
+    out_learnt.push_back(kUndefLit);  // slot for the asserting literal
+    int path_count = 0;
+    Lit p = kUndefLit;
+    std::size_t index = trail_.size();
+
+    do {
+        Lit* lits = clause_lits(confl);
+        const std::uint32_t size = clause_size(confl);
+        if (clause_learnt(confl)) clause_bump(confl);
+        for (std::uint32_t k = (p == kUndefLit ? 0 : 1); k < size; ++k) {
+            const Lit q = lits[k];
+            const std::size_t v = static_cast<std::size_t>(q.var());
+            if (seen_[v] == 0 && level_[v] > 0) {
+                var_bump(q.var());
+                seen_[v] = 1;
+                if (level_[v] >= decision_level()) {
+                    ++path_count;
+                } else {
+                    out_learnt.push_back(q);
+                }
+            }
+        }
+        // Walk the trail back to the next marked literal.
+        while (seen_[static_cast<std::size_t>(trail_[index - 1].var())] == 0) --index;
+        --index;
+        p = trail_[index];
+        confl = reason_[static_cast<std::size_t>(p.var())];
+        seen_[static_cast<std::size_t>(p.var())] = 0;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Basic clause minimization: a reason-implied literal whose entire
+    // reason clause is already marked is redundant. Keep the pre-
+    // minimization set so every seen_ flag gets cleared afterwards.
+    analyze_clear_ = out_learnt;
+    std::size_t j = 1;
+    for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+        const Lit q = out_learnt[i];
+        const ClauseRef r = reason_[static_cast<std::size_t>(q.var())];
+        bool redundant = false;
+        if (r != kNoClause) {
+            redundant = true;
+            Lit* rl = clause_lits(r);
+            const std::uint32_t rs = clause_size(r);
+            for (std::uint32_t k = 0; k < rs; ++k) {
+                const std::size_t v = static_cast<std::size_t>(rl[k].var());
+                if (seen_[v] == 0 && level_[v] > 0) {
+                    redundant = false;
+                    break;
+                }
+            }
+        }
+        if (redundant) {
+            ++stats_.minimized_literals;
+        } else {
+            out_learnt[j++] = q;
+        }
+    }
+    out_learnt.resize(j);
+
+    // Backtrack level: highest level among the non-asserting literals.
+    out_btlevel = 0;
+    if (out_learnt.size() > 1) {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+            if (level_[static_cast<std::size_t>(out_learnt[i].var())] >
+                level_[static_cast<std::size_t>(out_learnt[max_i].var())]) {
+                max_i = i;
+            }
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level_[static_cast<std::size_t>(out_learnt[1].var())];
+    }
+    for (const Lit q : analyze_clear_) {
+        if (q != kUndefLit) seen_[static_cast<std::size_t>(q.var())] = 0;
+    }
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+}
+
+void Solver::analyze_final(Lit p) {
+    // The negation of the assumption subset that forced the conflict.
+    conflict_.clear();
+    conflict_.push_back(~p);
+    if (decision_level() == 0) return;
+    seen_[static_cast<std::size_t>(p.var())] = 1;
+    for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+        const Var v = trail_[i].var();
+        const std::size_t vi = static_cast<std::size_t>(v);
+        if (seen_[vi] == 0) continue;
+        const ClauseRef r = reason_[vi];
+        if (r == kNoClause) {
+            if (level_[vi] > 0) conflict_.push_back(~trail_[i]);
+        } else {
+            Lit* lits = clause_lits(r);
+            const std::uint32_t size = clause_size(r);
+            for (std::uint32_t k = 1; k < size; ++k) {
+                if (level_[static_cast<std::size_t>(lits[k].var())] > 0) {
+                    seen_[static_cast<std::size_t>(lits[k].var())] = 1;
+                }
+            }
+        }
+        seen_[vi] = 0;
+    }
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+}
+
+void Solver::cancel_until(int target) {
+    if (decision_level() <= target) return;
+    const std::int32_t limit = trail_lim_[static_cast<std::size_t>(target)];
+    for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(limit);) {
+        const Var v = trail_[i].var();
+        const std::size_t vi = static_cast<std::size_t>(v);
+        polarity_[vi] = assign_[vi] == Value::kTrue ? 1 : 0;  // phase saving
+        assign_[vi] = Value::kUndef;
+        reason_[vi] = kNoClause;
+        if (heap_pos_[vi] < 0) heap_insert(v);
+    }
+    trail_.resize(static_cast<std::size_t>(limit));
+    trail_lim_.resize(static_cast<std::size_t>(target));
+    qhead_ = trail_.size();
+}
+
+// ---- VSIDS order heap ------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+    heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(v);
+    heap_sift_up(static_cast<int>(heap_.size()) - 1);
+}
+
+Var Solver::heap_pop() {
+    const Var top = heap_[0];
+    heap_pos_[static_cast<std::size_t>(top)] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+        heap_sift_down(0);
+    }
+    return top;
+}
+
+void Solver::heap_sift_up(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    while (i > 0) {
+        const int parent = (i - 1) >> 1;
+        if (!heap_less(v, heap_[static_cast<std::size_t>(parent)])) break;
+        heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+        heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+        i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    const int n = static_cast<int>(heap_.size());
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n &&
+            heap_less(heap_[static_cast<std::size_t>(child + 1)],
+                      heap_[static_cast<std::size_t>(child)])) {
+            ++child;
+        }
+        if (!heap_less(heap_[static_cast<std::size_t>(child)], v)) break;
+        heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+        heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+        i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+Lit Solver::pick_branch_lit() {
+    while (!heap_.empty()) {
+        const Var v = heap_pop();
+        if (assign_[static_cast<std::size_t>(v)] == Value::kUndef) {
+            return Lit::make(v, polarity_[static_cast<std::size_t>(v)] == 0);
+        }
+    }
+    return kUndefLit;
+}
+
+// ---- Learned-clause reduction ---------------------------------------------
+
+void Solver::reduce_db() {
+    ++stats_.db_reductions;
+    std::vector<ClauseRef> live;
+    live.reserve(learnts_.size());
+    for (const ClauseRef c : learnts_) {
+        if (!clause_dead(c)) live.push_back(c);
+    }
+    std::sort(live.begin(), live.end(), [this](ClauseRef a, ClauseRef b) {
+        return clause_activity(a) < clause_activity(b);
+    });
+    std::vector<ClauseRef> kept;
+    kept.reserve(live.size());
+    const std::size_t target = live.size() / 2;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const ClauseRef c = live[i];
+        Lit* lits = clause_lits(c);
+        const bool locked = reason_[static_cast<std::size_t>(lits[0].var())] == c &&
+                            value(lits[0]) == Value::kTrue;
+        if (i < target && !locked && clause_size(c) > 2) {
+            detach_clause(c);
+            arena_[c] |= 1;  // dead
+        } else {
+            kept.push_back(c);
+        }
+    }
+    learnts_ = std::move(kept);
+}
+
+// ---- Search ----------------------------------------------------------------
+
+SolveResult Solver::search(std::int64_t conflict_budget) {
+    std::vector<Lit> learnt;
+    std::int64_t restart_limit = luby(static_cast<std::int64_t>(stats_.restarts)) * kRestartUnit;
+    std::int64_t conflicts_this_restart = 0;
+
+    while (true) {
+        const ClauseRef confl = propagate();
+        if (confl != kNoClause) {
+            ++stats_.conflicts;
+            ++conflicts_this_restart;
+            if (decision_level() == 0) {
+                ok_ = false;
+                conflict_.clear();
+                return SolveResult::kUnsat;
+            }
+            int bt_level = 0;
+            analyze(confl, learnt, bt_level);
+            cancel_until(bt_level);
+            ++stats_.learned_clauses;
+            stats_.learned_literals += learnt.size();
+            if (learnt.size() == 1) {
+                unchecked_enqueue(learnt[0], kNoClause);
+            } else {
+                const ClauseRef c = alloc_clause(learnt, /*learnt=*/true);
+                learnts_.push_back(c);
+                attach_clause(c);
+                clause_bump(c);
+                unchecked_enqueue(learnt[0], c);
+            }
+            var_decay();
+            cla_inc_ *= (1.0 / 0.999);
+            continue;
+        }
+
+        if (conflict_budget > 0 && static_cast<std::int64_t>(stats_.conflicts) >= conflict_budget) {
+            cancel_until(0);
+            return SolveResult::kUnknown;
+        }
+        if (conflicts_this_restart >= restart_limit) {
+            ++stats_.restarts;
+            cancel_until(0);
+            restart_limit = luby(static_cast<std::int64_t>(stats_.restarts)) * kRestartUnit;
+            conflicts_this_restart = 0;
+            continue;
+        }
+        if (static_cast<double>(learnts_.size()) >= max_learnts_ + trail_.size()) {
+            reduce_db();
+            max_learnts_ *= 1.1;
+        }
+
+        // Assumptions first, then VSIDS decisions.
+        Lit next = kUndefLit;
+        while (static_cast<std::size_t>(decision_level()) < assumptions_.size()) {
+            const Lit p = assumptions_[static_cast<std::size_t>(decision_level())];
+            const Value v = value(p);
+            if (v == Value::kTrue) {
+                trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+            } else if (v == Value::kFalse) {
+                // p is the failing assumption; analyze_final negates it
+                // into the core itself.
+                analyze_final(p);
+                return SolveResult::kUnsat;
+            } else {
+                next = p;
+                break;
+            }
+        }
+        if (next == kUndefLit &&
+            static_cast<std::size_t>(decision_level()) >= assumptions_.size()) {
+            next = pick_branch_lit();
+            if (next == kUndefLit) {
+                model_ = assign_;
+                return SolveResult::kSat;
+            }
+            ++stats_.decisions;
+        }
+        trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        unchecked_enqueue(next, kNoClause);
+    }
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions,
+                          std::int64_t conflict_limit) {
+    conflict_.clear();
+    if (!ok_) return SolveResult::kUnsat;
+    assumptions_ = assumptions;
+    if (max_learnts_ < 1) {
+        max_learnts_ = std::max(4000.0, static_cast<double>(clauses_.size()) / 3.0);
+    }
+    const std::int64_t budget =
+        conflict_limit <= 0 ? 0
+                            : static_cast<std::int64_t>(stats_.conflicts) + conflict_limit;
+    const SolveResult r = search(budget);
+    cancel_until(0);
+    assumptions_.clear();
+    return r;
+}
+
+}  // namespace bdsmaj::sat

@@ -414,5 +414,38 @@ TEST(SynthesisService, StatsAggregateGateCounts) {
     EXPECT_GT(st.mapped_area_um2, 0.0);
 }
 
+TEST(SynthesisService, VerifiedJobsCarryExactEquivalenceVerdicts) {
+    // Service-side sign-off: every flow of a verify job records an exact
+    // oracle verdict (here forced through the SAT engine).
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    SynthesisService service;
+    SynthesisJobParams jp;
+    jp.verify = true;
+    jp.oracle = net::EquivEngine::kSat;
+    SynthesisService::Submission sub = service.submit(input, jp);
+    const FlowResult r = sub.result.get();
+    ASSERT_EQ(r.status, JobStatus::kCompleted);
+    ASSERT_EQ(r.results.size(), 1u);
+    ASSERT_EQ(r.results[0].size(), 4u);  // all four Table II flows
+    for (const SynthesisResult& sr : r.results[0]) {
+        ASSERT_TRUE(sr.equivalence.has_value()) << sr.flow_name;
+        EXPECT_TRUE(sr.equivalence->equivalent) << sr.flow_name;
+        EXPECT_TRUE(sr.equivalence->exact) << sr.flow_name;
+        EXPECT_EQ(sr.equivalence->engine, net::EquivEngine::kSat) << sr.flow_name;
+        EXPECT_GT(sr.verify_seconds, 0.0) << sr.flow_name;
+    }
+}
+
+TEST(SynthesisService, UnverifiedJobsSkipTheOracle) {
+    const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
+    SynthesisService service;
+    SynthesisService::Submission sub = service.submit(input, {});
+    const FlowResult r = sub.result.get();
+    ASSERT_EQ(r.status, JobStatus::kCompleted);
+    for (const SynthesisResult& sr : r.results.at(0)) {
+        EXPECT_FALSE(sr.equivalence.has_value()) << sr.flow_name;
+    }
+}
+
 }  // namespace
 }  // namespace bdsmaj::flows

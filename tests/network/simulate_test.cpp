@@ -72,9 +72,19 @@ TEST(Simulate, WordsStimulusCountValidated) {
 TEST(Equivalence, IdenticalNetworksAreEquivalent) {
     const Network a = full_adder();
     const Network b = full_adder();
-    EXPECT_TRUE(random_equivalent(a, b, 16, 1).equivalent);
-    EXPECT_TRUE(bdd_equivalent(a, b).equivalent);
-    EXPECT_TRUE(check_equivalent(a, b).equivalent);
+    // Random simulation can only sample agreement: exact stays false.
+    const EquivalenceResult sim = random_equivalent(a, b, 16, 1);
+    EXPECT_TRUE(sim.equivalent);
+    EXPECT_FALSE(sim.exact);
+    EXPECT_EQ(sim.engine, EquivEngine::kSim);
+    // The BDD engine and the oracle both return proofs.
+    const EquivalenceResult bdd = bdd_equivalent(a, b);
+    EXPECT_TRUE(bdd.equivalent);
+    EXPECT_TRUE(bdd.exact);
+    EXPECT_EQ(bdd.engine, EquivEngine::kBdd);
+    const EquivalenceResult oracle = check_equivalent(a, b);
+    EXPECT_TRUE(oracle.equivalent);
+    EXPECT_TRUE(oracle.exact);
 }
 
 TEST(Equivalence, DifferentFunctionsAreCaught) {
@@ -90,9 +100,16 @@ TEST(Equivalence, DifferentFunctionsAreCaught) {
         const NodeId y = b.add_input("y");
         b.add_output("f", b.add_or(x, y));
     }
-    EXPECT_FALSE(random_equivalent(a, b, 4, 7).equivalent);
-    EXPECT_FALSE(bdd_equivalent(a, b).equivalent);
-    EXPECT_FALSE(check_equivalent(a, b).equivalent);
+    for (const EquivalenceResult& r :
+         {random_equivalent(a, b, 4, 7), bdd_equivalent(a, b), check_equivalent(a, b)}) {
+        EXPECT_FALSE(r.equivalent);
+        // A refutation is always exact: it carries a concrete re-verified
+        // counterexample naming the failing output.
+        EXPECT_TRUE(r.exact);
+        ASSERT_EQ(r.counterexample.size(), 2u);
+        EXPECT_EQ(r.failing_output, 0);
+        EXPECT_NE(simulate(a, r.counterexample)[0], simulate(b, r.counterexample)[0]);
+    }
 }
 
 TEST(Equivalence, StructurallyDifferentButEqualFunctions) {

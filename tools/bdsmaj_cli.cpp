@@ -20,6 +20,11 @@
 //                                 output is identical at any setting
 //   --quick                       reduced widths for @benchmarks
 //   --verify                      equivalence-check outputs (default on)
+//   --oracle auto|bdd|sat|sim     equivalence engine for --verify
+//                                 (default auto: simulation refutes, then
+//                                 a BDD proof on tiny input counts and the
+//                                 SAT miter sweep everywhere else; sim
+//                                 alone is not an exact sign-off)
 //   --quiet                       only print the summary line (suppresses
 //                                 the per-strategy engine step counts)
 //
@@ -55,7 +60,7 @@
 #include "flows/flows.hpp"
 #include "flows/service.hpp"
 #include "network/blif.hpp"
-#include "network/simulate.hpp"
+#include "network/cec.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace {
@@ -71,6 +76,7 @@ struct Options {
     bool reorder = true;
     bool quick = false;
     bool verify = true;
+    net::EquivEngine oracle = net::EquivEngine::kAuto;
     bool quiet = false;
     bool batch = false;
     /// True when an engine tuning flag (--no-reorder, --k-local,
@@ -95,6 +101,7 @@ int usage() {
                  "                  [--sift-max-vars N]\n"
                  "                  [--k-local F] [--k-global F] [--iterations N]\n"
                  "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
+                 "                  [--oracle auto|bdd|sat|sim]\n"
                  "                  [--batch] [--pool N] [--max-jobs N]\n"
                  "                  <input.blif | @benchmark> [more inputs in batch mode]\n");
     return 2;
@@ -155,13 +162,23 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
                 verify ? (equivalent ? " [verified]" : " [MISMATCH]") : "");
 }
 
-bool verify_result(const net::Network& input, const flows::SynthesisResult& result) {
-    const auto eq1 = net::check_equivalent(input, result.optimized);
-    const auto eq2 = net::check_equivalent(input, result.mapped.netlist);
-    if (!eq1.equivalent || !eq2.equivalent) {
-        std::fprintf(stderr, "VERIFICATION FAILED: %s %s\n", eq1.reason.c_str(),
-                     eq2.reason.c_str());
-        return false;
+bool verify_result(const net::Network& input, const flows::SynthesisResult& result,
+                   net::EquivEngine oracle) {
+    net::CecParams cec;
+    cec.engine = oracle;
+    for (const net::Network* stage : {&result.optimized, &result.mapped.netlist}) {
+        const auto eq = net::check_equivalent(input, *stage, cec);
+        if (!eq.equivalent) {
+            std::fprintf(stderr, "VERIFICATION FAILED (engine %s): %s\n",
+                         net::equiv_engine_name(eq.engine), eq.reason.c_str());
+            return false;
+        }
+        if (!eq.exact) {
+            // Only the sim engine leaves a sampled verdict; make the
+            // weaker guarantee impossible to miss.
+            std::fprintf(stderr, "note: --oracle sim agreement is sampled, "
+                                 "not an exact sign-off\n");
+        }
     }
     return true;
 }
@@ -203,6 +220,10 @@ int run_batch(const Options& opt) {
     jp.flow = opt.flow;
     jp.preset = opt.preset;
     jp.manager = opt.manager;
+    // Verification runs inside the job (service-side): a failed sign-off
+    // fails that job's future instead of handing out a wrong network.
+    jp.verify = opt.verify;
+    jp.oracle = opt.oracle;
 
     std::vector<flows::SynthesisService::Submission> submissions;
     submissions.reserve(inputs.size());
@@ -214,14 +235,13 @@ int run_batch(const Options& opt) {
     for (std::size_t i = 0; i < submissions.size(); ++i) {
         try {
             const flows::FlowResult r = submissions[i].result.get();
-            // One entry for a named flow, four for --flow all: print and
-            // verify every flow the job ran.
+            // One entry for a named flow, four for --flow all. The job
+            // already signed off each result; surface its verdict.
             for (const flows::SynthesisResult& sr : r.results.at(0)) {
-                bool equivalent = true;
-                if (opt.verify) {
-                    equivalent = verify_result(inputs[i], sr);
-                    all_ok = all_ok && equivalent;
-                }
+                const bool equivalent =
+                    !opt.verify ||
+                    (sr.equivalence.has_value() && sr.equivalence->equivalent);
+                all_ok = all_ok && equivalent;
                 print_result(inputs[i], sr, r.seconds, opt.verify, equivalent,
                              opt.quiet);
             }
@@ -314,6 +334,15 @@ int main(int argc, char** argv) {
             opt.quick = true;
         } else if (arg == "--no-verify") {
             opt.verify = false;
+        } else if (arg == "--oracle") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            try {
+                opt.oracle = net::parse_equiv_engine(v);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return usage();
+            }
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -372,7 +401,7 @@ int main(int argc, char** argv) {
     }
 
     bool equivalent = true;
-    if (opt.verify) equivalent = verify_result(input, result);
+    if (opt.verify) equivalent = verify_result(input, result, opt.oracle);
     print_result(input, result, result.optimize_seconds, opt.verify, equivalent,
                  opt.quiet);
 

@@ -5,7 +5,9 @@
 # BENCH_core.json — and on any output-fingerprint drift, which would mean
 # the synthesis results themselves changed. The smoke run also pushes the
 # suite through the parallel pipeline at jobs = 1/2/4 and fails if the
-# jobs=4 fingerprints differ from jobs=1 (thread-count determinism).
+# jobs=4 fingerprints differ from jobs=1 (thread-count determinism), and
+# runs the equivalence-oracle shootout, failing on any verdict drift or a
+# >tolerance SAT wall-time regression.
 #
 #   tools/ci.sh                        # full gate
 #   BDSMAJ_CI_SKIP_BENCH=1 ...         # tier-1 only
@@ -175,6 +177,41 @@ if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"
 if fresh["ablation_mdom"]["equivalent"] != fresh["ablation_mdom"]["runs"]:
     failures.append("ablation_mdom: equivalence verification failed "
                     f"({fresh['ablation_mdom']['equivalent']}/{fresh['ablation_mdom']['runs']})")
+
+# Equivalence-oracle shootout: every circuit must keep an exact `proved`
+# verdict (drift means the sign-off got weaker or wrong), and the SAT
+# engine's aggregate wall time is regression-gated like the other
+# sections — the whole point of the oracle is that exact sign-off stays
+# cheap where the BDD is intractable.
+oracle = fresh.get("oracle")
+if oracle is None:
+    failures.append("oracle: section missing from fresh bench run")
+else:
+    for c in oracle["circuits"]:
+        if not (c["fingerprint"]["equivalent"] and c["fingerprint"]["exact"]):
+            failures.append(f"oracle: {c['name']} lost its exact proof: "
+                            f"{c['fingerprint']}")
+    committed_oracle = committed.get("oracle")
+    if committed_oracle is None:
+        failures.append("oracle: section missing from committed "
+                        "smoke_reference — regenerate BENCH_core.json")
+    else:
+        committed_fp = {c["name"]: c["fingerprint"]
+                        for c in committed_oracle["circuits"]}
+        for c in oracle["circuits"]:
+            ref = committed_fp.get(c["name"])
+            if ref is None:
+                failures.append(f"oracle: circuit {c['name']} missing from "
+                                "committed smoke_reference — regenerate "
+                                "BENCH_core.json")
+            elif c["fingerprint"] != ref:
+                failures.append(f"oracle: verdict drifted on {c['name']}:\n"
+                                f"  committed {ref}\n"
+                                f"  fresh     {c['fingerprint']}")
+        if compare_times:
+            check_time("oracle.sat_total",
+                       committed_oracle["sat_total_seconds"],
+                       oracle["sat_total_seconds"])
 
 if failures:
     print("BENCH REGRESSION GATE FAILED:")
