@@ -144,6 +144,18 @@ public:
     Manager& operator=(const Manager&) = delete;
     ~Manager();
 
+    /// Return the manager to the state a freshly constructed
+    /// Manager(num_vars, params) would have — empty unique tables with
+    /// their initial bucket counts, identity variable order, cleared
+    /// computed table at its initial size, zeroed telemetry — while keeping
+    /// the node-store / table-vector capacities, which is the point of
+    /// pooling (bdd/manager_pool.hpp): a reset manager behaves observably
+    /// identically to a fresh one, so pooled reuse cannot change any
+    /// decomposition result. All outstanding Bdd handles must have been
+    /// released; must not be called from inside an operation. O(num_vars +
+    /// initial cache size), independent of how many nodes existed.
+    void reset(int num_vars, ManagerParams params = {});
+
     // ---- Variables -------------------------------------------------------
     [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(var_to_level_.size()); }
     /// Create a new variable at the bottom of the current order.

@@ -76,6 +76,53 @@ Manager::Manager(int num_vars, ManagerParams params) : params_(params) {
 
 Manager::~Manager() = default;
 
+void Manager::reset(int num_vars, ManagerParams params) {
+    assert(op_depth_ == 0 && "reset during an active operation");
+    assert(live_nodes_ == 0 && "reset with outstanding Bdd handles");
+    params_ = params;
+    // Node store back to just the pinned terminal. Node/NodeAux are
+    // trivially destructible, so the shrink is O(1) and the grown capacity
+    // — the expensive part of per-supernode construction — is retained.
+    nodes_.resize(1);
+    aux_.resize(1);
+    nodes_[0] = Node{kTerminalLevel, kEdgeOne, kEdgeOne};
+    aux_[0] = NodeAux{kNil, 0xffffffffu};
+    // Per-level unique tables exactly as new_var() creates them (16
+    // buckets): identical initial state keeps the grow schedule — and with
+    // it every downstream decision — indistinguishable from a fresh
+    // manager's.
+    const auto n = static_cast<std::size_t>(num_vars);
+    tables_.resize(n);
+    for (LevelTable& t : tables_) {
+        t.buckets.assign(16, kNil);
+        t.entries = 0;
+    }
+    level_live_.assign(n, 0);
+    var_to_level_.resize(n);
+    level_to_var_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Identity order: sifting permutes var_to_level_, and flow code
+        // binds leaf i to variable i at construction time.
+        var_to_level_[i] = static_cast<std::uint32_t>(i);
+        level_to_var_[i] = static_cast<std::uint32_t>(i);
+    }
+    cache_.assign(std::size_t{1} << params_.cache_size_log2, CacheEntry{});
+    cache_stats_ = {};
+    reorder_stats_ = {};
+    free_list_ = kNil;
+    live_nodes_ = 0;
+    dead_nodes_ = 0;
+    peak_nodes_ = 0;
+    interact_.clear();
+    interact_words_ = 0;
+    interact_valid_ = false;
+    interact_trusted_ = false;
+    cache_tainted_ = false;
+    // Generation-stamped scratch survives as-is: stale stamps are from
+    // earlier generations and the wrap-around fill in begin_traversal() /
+    // make_node_map() already covers counter overflow.
+}
+
 int Manager::new_var() {
     const auto level = static_cast<std::uint32_t>(tables_.size());
     tables_.emplace_back();

@@ -1,0 +1,49 @@
+#include "bdd/manager_pool.hpp"
+
+namespace bdsmaj::bdd {
+
+ManagerPool& ManagerPool::instance() {
+    static ManagerPool pool;
+    return pool;
+}
+
+ManagerPool::Lease ManagerPool::acquire(int num_vars, const ManagerParams& params) {
+    std::unique_ptr<Manager> mgr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            mgr = std::move(idle_.back());
+            idle_.pop_back();
+        }
+    }
+    if (mgr != nullptr) {
+        mgr->reset(num_vars, params);
+    } else {
+        mgr = std::make_unique<Manager>(num_vars, params);
+    }
+    return Lease(this, std::move(mgr));
+}
+
+void ManagerPool::release(std::unique_ptr<Manager> mgr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idle_.size() < max_idle_) idle_.push_back(std::move(mgr));
+    // else: unique_ptr destroys it — the pool is a cap, not a leak.
+}
+
+void ManagerPool::set_max_idle(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_idle_ = n;
+    if (idle_.size() > max_idle_) idle_.resize(max_idle_);
+}
+
+std::size_t ManagerPool::idle_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+}
+
+void ManagerPool::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.clear();
+}
+
+}  // namespace bdsmaj::bdd

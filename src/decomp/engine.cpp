@@ -29,6 +29,10 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     literal_leaves += o.literal_leaves;
     npn_cache_hits += o.npn_cache_hits;
     npn_cache_misses += o.npn_cache_misses;
+    cone_cache_hits += o.cone_cache_hits;
+    cone_cache_misses += o.cone_cache_misses;
+    cone_cache_evictions += o.cone_cache_evictions;
+    cone_cache_bytes = std::max(cone_cache_bytes, o.cone_cache_bytes);
     sift_swaps += o.sift_swaps;
     sift_fast_swaps += o.sift_fast_swaps;
     sift_lb_aborts += o.sift_lb_aborts;

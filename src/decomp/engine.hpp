@@ -80,6 +80,17 @@ struct EngineStats {
     int literal_leaves = 0;
     long long npn_cache_hits = 0;
     long long npn_cache_misses = 0;
+    // Cone-memoization telemetry (decomp/cone_cache.hpp; filled by the
+    // flow layer). Like npn_cache_*, hit/miss/eviction counts depend on
+    // prior process history — a cone decomposed by an earlier run or a
+    // concurrent worker is a hit here — so all cone_cache_* fields stay
+    // outside the determinism fingerprints. The decomposition RESULTS are
+    // history-independent either way: a hit replays the byte-identical
+    // tape a cold run would have produced.
+    long long cone_cache_hits = 0;
+    long long cone_cache_misses = 0;
+    long long cone_cache_evictions = 0;  ///< evictions during this run
+    long long cone_cache_bytes = 0;      ///< cache footprint at run end
     // Reordering effort of the per-supernode managers (filled by the flow
     // layer, not the decomposer). Sums/max over supernodes are
     // order-independent, so these stay deterministic at any job count —

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 
 namespace bdsmaj::decomp {
 
@@ -325,6 +329,156 @@ std::shared_ptr<const ExactStructure> ExactSynthesisCache::lookup(
         if (was_hit != nullptr) *was_hit = true;
     }
     return it->second;
+}
+
+namespace {
+
+// On-disk exact-cache layout (little-endian as stored; the file is a
+// warm-start hint, not an interchange format):
+//   "BMXC" magic, u32 version, u32 class count, then per class:
+//   u16 canonical, u16 gate count, gates as (op, a, b, c) with each
+//   ExactRef as (index, complemented) byte pairs, and the output ref.
+constexpr char kExactCacheMagic[4] = {'B', 'M', 'X', 'C'};
+constexpr std::uint32_t kExactCacheVersion = 1;
+
+void put_u16(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+    put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_ref(std::string& out, const ExactRef& r) {
+    out.push_back(static_cast<char>(r.index));
+    out.push_back(static_cast<char>(r.complemented ? 1 : 0));
+}
+
+struct ByteReader {
+    const std::string& data;
+    std::size_t at = 0;
+    bool ok = true;
+
+    std::uint8_t u8() {
+        if (at >= data.size()) { ok = false; return 0; }
+        return static_cast<std::uint8_t>(data[at++]);
+    }
+    std::uint16_t u16() {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+    }
+    std::uint32_t u32() {
+        const std::uint32_t lo = u16();
+        return lo | (static_cast<std::uint32_t>(u16()) << 16);
+    }
+    ExactRef ref() {
+        ExactRef r;
+        r.index = u8();
+        r.complemented = u8() != 0;
+        return r;
+    }
+};
+
+/// Structural validity of a loaded ref at gate position `gate_pos`
+/// (references may only reach inputs, earlier gates, or a constant).
+bool ref_valid(const ExactRef& r, std::size_t gate_pos) {
+    if (r.is_const()) return true;
+    return r.index < 4 + gate_pos;
+}
+
+}  // namespace
+
+int ExactSynthesisCache::save_to_file(const std::string& path) const {
+    std::vector<std::shared_ptr<const ExactStructure>> entries;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto& [canonical, structure] : shard.map) entries.push_back(structure);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a->canonical < b->canonical; });
+
+    std::string payload;
+    payload.append(kExactCacheMagic, sizeof(kExactCacheMagic));
+    put_u32(payload, kExactCacheVersion);
+    put_u32(payload, static_cast<std::uint32_t>(entries.size()));
+    for (const auto& s : entries) {
+        put_u16(payload, s->canonical);
+        put_u16(payload, static_cast<std::uint16_t>(s->gates.size()));
+        for (const ExactGate& g : s->gates) {
+            payload.push_back(static_cast<char>(g.op));
+            put_ref(payload, g.a);
+            put_ref(payload, g.b);
+            put_ref(payload, g.c);
+        }
+        put_ref(payload, s->output);
+    }
+
+    // Write-then-rename: readers either see the complete old file or the
+    // complete new one, never a torn save.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return -1;
+        out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        if (!out) {
+            std::remove(tmp.c_str());
+            return -1;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return -1;
+    }
+    return static_cast<int>(entries.size());
+}
+
+int ExactSynthesisCache::load_from_file(const std::string& path) {
+    std::string data;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) return 0;
+        data.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    ByteReader rd{data};
+    char magic[4];
+    for (char& c : magic) c = static_cast<char>(rd.u8());
+    if (!rd.ok || std::memcmp(magic, kExactCacheMagic, sizeof(magic)) != 0) return 0;
+    if (rd.u32() != kExactCacheVersion) return 0;
+    const std::uint32_t count = rd.u32();
+    if (!rd.ok) return 0;
+
+    int inserted = 0;
+    for (std::uint32_t i = 0; i < count && rd.ok; ++i) {
+        auto s = std::make_shared<ExactStructure>();
+        s->canonical = rd.u16();
+        const std::uint16_t gate_count = rd.u16();
+        bool valid = rd.ok;
+        s->gates.reserve(gate_count);
+        for (std::uint16_t g = 0; g < gate_count; ++g) {
+            ExactGate gate;
+            const std::uint8_t op = rd.u8();
+            gate.op = static_cast<ExactOp>(op);
+            gate.a = rd.ref();
+            gate.b = rd.ref();
+            gate.c = rd.ref();
+            valid = valid && rd.ok && op <= static_cast<std::uint8_t>(ExactOp::kMux) &&
+                    ref_valid(gate.a, g) && ref_valid(gate.b, g) && ref_valid(gate.c, g);
+            s->gates.push_back(gate);
+        }
+        s->output = rd.ref();
+        valid = valid && rd.ok && ref_valid(s->output, s->gates.size());
+        // The semantic check: a structure is only trusted if it actually
+        // computes the class it claims. This is what makes a corrupted
+        // (but well-framed) file unable to poison synthesis results.
+        if (!valid || s->eval_tt() != s->canonical) continue;
+
+        Shard& shard = shards_[s->canonical % kShards];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.map.emplace(s->canonical, std::move(s)).second) ++inserted;
+    }
+    return inserted;
 }
 
 ExactCacheStats ExactSynthesisCache::stats() const {

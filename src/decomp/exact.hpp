@@ -29,6 +29,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -132,6 +133,23 @@ public:
     /// 16-bit function is reachable in the enumeration grammar.
     [[nodiscard]] std::shared_ptr<const ExactStructure> lookup(
         std::uint16_t canonical, bool* was_hit = nullptr);
+
+    /// Persist every materialized class to `path` (versioned binary
+    /// format), via a temp file + atomic rename so a crash mid-save never
+    /// corrupts an existing cache file. Entries are written in canonical
+    /// order, so the bytes are deterministic for a given class set.
+    /// Returns the number of classes written, or -1 on I/O failure.
+    int save_to_file(const std::string& path) const;
+
+    /// Pre-warm from a file written by save_to_file. Tolerant by design:
+    /// a missing file, bad magic, unknown version or truncated payload
+    /// loads nothing (returns 0) instead of failing the run, and every
+    /// entry is re-validated (reference well-formedness + the program
+    /// must evaluate to its claimed class) before being trusted — a
+    /// corrupted structure is skipped, never served. Already-materialized
+    /// classes keep their in-memory program (first insert wins). Returns
+    /// the number of classes actually inserted.
+    int load_from_file(const std::string& path);
 
     [[nodiscard]] ExactCacheStats stats() const;
 

@@ -8,11 +8,15 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bdd/manager_pool.hpp"
+#include "decomp/cone_cache.hpp"
 #include "network/builder.hpp"
 #include "network/cleanup.hpp"
 #include "network/gate_tape.hpp"
@@ -109,32 +113,70 @@ Bdd build_supernode_bdd(bdd::Manager& mgr, const Network& network,
     return at(sn.root);
 }
 
-/// Stage 1 of the pipeline, for one supernode: fresh local manager (the
-/// BDS local-BDD policy), sift, decompose into the supernode's private
-/// tape. Runs with no shared mutable state, so any number of these can
-/// execute concurrently.
+/// Stage 1 of the pipeline, for one supernode: pooled local manager (the
+/// BDS local-BDD policy; Manager::reset makes the lease equivalent to a
+/// fresh construction while reusing the previous cone's heap blocks),
+/// sift, decompose into the supernode's private tape. Runs with no shared
+/// mutable state, so any number of these can execute concurrently.
 void decompose_supernode_to_tape(const Network& input, const Supernode& sn,
                                  const DecompFlowParams& params,
                                  ConeScratch& scratch, net::GateTape& tape,
                                  EngineStats& stats) {
-    bdd::Manager mgr(static_cast<int>(sn.leaves.size()), params.manager);
-    const Bdd f = build_supernode_bdd(mgr, input, sn, scratch);
-    if (params.reorder) mgr.sift();
+    bdd::ManagerPool::Lease lease = bdd::ManagerPool::instance().acquire(
+        static_cast<int>(sn.leaves.size()), params.manager);
+    bdd::Manager& mgr = *lease;
+    {
+        const Bdd f = build_supernode_bdd(mgr, input, sn, scratch);
+        if (params.reorder) mgr.sift();
 
-    std::vector<Signal> leaves;
-    leaves.reserve(sn.leaves.size());
-    // Variable i of the local manager is leaf i; sifting changes levels
-    // but never variable identities, so this binding survives reorder.
-    for (std::size_t i = 0; i < sn.leaves.size(); ++i) leaves.push_back(tape.leaf(i));
+        std::vector<Signal> leaves;
+        leaves.reserve(sn.leaves.size());
+        // Variable i of the local manager is leaf i; sifting changes levels
+        // but never variable identities, so this binding survives reorder.
+        for (std::size_t i = 0; i < sn.leaves.size(); ++i) leaves.push_back(tape.leaf(i));
 
-    BddDecomposer decomposer(mgr, tape, std::move(leaves), params.engine);
-    tape.set_root(decomposer.decompose(f));
-    stats = decomposer.stats();
-    const bdd::ReorderStats& rs = mgr.reorder_stats();
-    stats.sift_swaps = static_cast<long long>(rs.swaps);
-    stats.sift_fast_swaps = static_cast<long long>(rs.fast_swaps);
-    stats.sift_lb_aborts = static_cast<long long>(rs.lb_aborts);
-    stats.peak_bdd_nodes = static_cast<long long>(mgr.peak_node_count());
+        BddDecomposer decomposer(mgr, tape, std::move(leaves), params.engine);
+        tape.set_root(decomposer.decompose(f));
+        stats = decomposer.stats();
+        const bdd::ReorderStats& rs = mgr.reorder_stats();
+        stats.sift_swaps = static_cast<long long>(rs.swaps);
+        stats.sift_fast_swaps = static_cast<long long>(rs.fast_swaps);
+        stats.sift_lb_aborts = static_cast<long long>(rs.lb_aborts);
+        stats.peak_bdd_nodes = static_cast<long long>(mgr.peak_node_count());
+    }  // every Bdd handle dies here, before the lease returns to the pool
+}
+
+/// Per-worker state for the per-supernode stage.
+struct WorkerState {
+    ConeScratch scratch;
+    ConeKeyBuilder keys;
+};
+
+/// Decompose one supernode into a finished (shared, immutable) tape —
+/// through the cone cache when enabled. On a hit the cached tape and the
+/// cached cold-run stats are returned (with cone_cache_hits = 1); on a
+/// miss the freshly recorded tape is published for future lookups. Either
+/// way the tape bytes are those a cache-off run would have produced.
+[[nodiscard]] std::shared_ptr<const net::GateTape> produce_tape(
+        const Network& input, const Supernode& sn, const DecompFlowParams& params,
+        const std::string& config, WorkerState& ws, EngineStats& stats) {
+    if (!params.cone_cache) {
+        auto tape = std::make_shared<net::GateTape>(sn.leaves.size());
+        decompose_supernode_to_tape(input, sn, params, ws.scratch, *tape, stats);
+        return tape;
+    }
+    const ConeKey key = ws.keys.build(input, sn, config);
+    if (std::shared_ptr<const ConeCacheValue> hit = ConeCache::instance().lookup(key)) {
+        stats = hit->stats;
+        stats.cone_cache_hits = 1;
+        return hit->tape;
+    }
+    auto tape = std::make_shared<net::GateTape>(sn.leaves.size());
+    decompose_supernode_to_tape(input, sn, params, ws.scratch, *tape, stats);
+    tape->shrink_to_fit();
+    ConeCache::instance().insert(key, tape, stats);
+    stats.cone_cache_misses = 1;
+    return tape;
 }
 
 }  // namespace
@@ -171,17 +213,26 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
                params.cancel->load(std::memory_order_relaxed);
     };
 
+    // One config blob per flow: the canonical-key prefix capturing every
+    // knob the emitted tapes depend on.
+    const std::string cone_config =
+        params.cone_cache
+            ? cone_cache_config_blob(params.engine, params.manager, params.reorder)
+            : std::string{};
+    const long long cone_evictions_before =
+        params.cone_cache ? ConeCache::instance().stats().evictions : 0;
+
     if (workers <= 1) {
         // Serial: decompose and replay one supernode at a time, so only
         // one tape is ever live (the batch path below would hold the gate
         // IR of the whole network at once for no parallelism in return).
-        ConeScratch scratch;
+        WorkerState ws;
         for (const Supernode& sn : supernodes) {
             if (cancelled()) throw FlowCancelled();
-            net::GateTape tape(sn.leaves.size());
             EngineStats stats;
-            decompose_supernode_to_tape(input, sn, params, scratch, tape, stats);
-            replay_tape(sn, tape);
+            const std::shared_ptr<const net::GateTape> tape =
+                produce_tape(input, sn, params, cone_config, ws, stats);
+            replay_tape(sn, *tape);
             result.engine_stats += stats;
         }
     } else {
@@ -195,11 +246,9 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
         // memory stays bounded instead of holding the gate IR of the
         // whole network.
         const std::size_t n = supernodes.size();
-        std::vector<net::GateTape> tapes;
-        tapes.reserve(n);
-        for (const Supernode& sn : supernodes) tapes.emplace_back(sn.leaves.size());
+        std::vector<std::shared_ptr<const net::GateTape>> tapes(n);
         std::vector<EngineStats> stats_of(n);
-        std::vector<ConeScratch> scratch(static_cast<std::size_t>(workers));
+        std::vector<WorkerState> worker_state(static_cast<std::size_t>(workers));
         const std::size_t window =
             params.replay_window > 0
                 ? static_cast<std::size_t>(params.replay_window)
@@ -219,9 +268,9 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
                 // starting another cone; the shared error slot aborts the
                 // rest of the pipeline exactly like a failure would.
                 if (cancelled()) throw FlowCancelled();
-                decompose_supernode_to_tape(input, supernodes[i], params,
-                                            scratch[static_cast<std::size_t>(slot)],
-                                            tapes[i], stats_of[i]);
+                tapes[i] = produce_tape(input, supernodes[i], params, cone_config,
+                                        worker_state[static_cast<std::size_t>(slot)],
+                                        stats_of[i]);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(m);
                 if (!err) err = std::current_exception();
@@ -269,8 +318,8 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
                     const std::size_t i = replayed;
                     lock.unlock();
                     try {
-                        replay_tape(supernodes[i], tapes[i]);
-                        tapes[i] = net::GateTape(0);  // free the gate IR now
+                        replay_tape(supernodes[i], *tapes[i]);
+                        tapes[i].reset();  // drop this flow's tape reference now
                     } catch (...) {
                         lock.lock();
                         if (!err) err = std::current_exception();
@@ -295,6 +344,15 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
         }
         helpers.join();
         if (err) std::rethrow_exception(err);
+    }
+
+    if (params.cone_cache) {
+        // Flow-level cache telemetry: evictions attributable to this run
+        // (approximate under concurrent flows) and the footprint snapshot.
+        // Hit/miss counts were accumulated per supernode above.
+        const ConeCacheStats cs = ConeCache::instance().stats();
+        result.engine_stats.cone_cache_evictions = cs.evictions - cone_evictions_before;
+        result.engine_stats.cone_cache_bytes = cs.bytes;
     }
 
     for (const net::OutputPort& po : input.outputs()) {

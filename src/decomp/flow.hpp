@@ -47,6 +47,14 @@ struct DecompFlowParams {
     bdd::ManagerParams manager;
     /// Sift each supernode's local BDD before decomposing (paper SIV-B).
     bool reorder = true;
+    /// Consult the process-wide canonical cone cache
+    /// (decomp/cone_cache.hpp): a supernode whose canonical cone signature
+    /// was decomposed before — by this run, an earlier run, or a
+    /// concurrent job — replays the cached GateTape instead of building,
+    /// sifting and decomposing its local BDD. The output network is
+    /// byte-identical either way (the cache key captures everything the
+    /// emitted tape depends on); only the cone_cache_* telemetry differs.
+    bool cone_cache = true;
     /// Run structural cleanup on the result.
     bool final_cleanup = true;
     /// Worker budget for the per-supernode stage: 1 = serial on the

@@ -47,6 +47,7 @@ SynthesisResult from_decomposition(std::string name, const net::Network& input,
     params.engine.use_majority = use_majority;
     params.engine.preset = options.preset;
     params.manager = options.manager;
+    params.cone_cache = options.cone_cache;
     params.jobs = options.jobs;
     params.cancel = options.cancel;
     decomp::DecompFlowResult d = decomp::decompose_network(input, params);

@@ -34,6 +34,12 @@ struct FlowOptions {
     /// bound, converging sift, variable cap). Defaults keep the preset
     /// fingerprints; ABC/DC ignore it.
     bdd::ManagerParams manager{};
+    /// Consult the process-wide canonical cone cache in the BDS flows
+    /// (DecompFlowParams::cone_cache): repeated cones — within a circuit,
+    /// across circuits, across jobs — replay cached GateTapes instead of
+    /// re-decomposing. Results are byte-identical either way; the budget
+    /// knob lives on decomp::ConeCache::instance(). ABC/DC ignore it.
+    bool cone_cache = true;
     /// Cooperative cancellation token, checked between supernodes inside
     /// the BDS decomposition (decomp::FlowCancelled propagates out) and
     /// between circuits in run_suite. Null = not cancellable.

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "decomp/cone_cache.hpp"
+#include "decomp/exact.hpp"
+
 namespace bdsmaj::flows {
 
 namespace {
@@ -141,6 +144,7 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
         options.jobs = job->params.jobs;
         options.preset = job->params.preset;
         options.manager = job->params.manager;
+        options.cone_cache = job->params.cone_cache;
         options.cancel = &job->cancel_requested;
         options.oracle = job->params.oracle;
         options.verify = job->params.verify;
@@ -265,6 +269,16 @@ ServiceStats SynthesisService::stats() const {
     s.networks_synthesized = networks_synthesized_;
     s.mapped_gates = mapped_gates_;
     s.mapped_area_um2 = mapped_area_um2_;
+    const decomp::ConeCacheStats cone = decomp::ConeCache::instance().stats();
+    s.cone_cache_hits = cone.hits;
+    s.cone_cache_misses = cone.misses;
+    s.cone_cache_evictions = cone.evictions;
+    s.cone_cache_entries = cone.entries;
+    s.cone_cache_bytes = cone.bytes;
+    const decomp::ExactCacheStats exact = decomp::ExactSynthesisCache::instance().stats();
+    s.exact_cache_hits = static_cast<long long>(exact.hits);
+    s.exact_cache_misses = static_cast<long long>(exact.misses);
+    s.exact_cache_classes = exact.classes_cached;
     return s;
 }
 

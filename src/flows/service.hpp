@@ -70,6 +70,11 @@ struct SynthesisJobParams {
     /// Per-supernode BDD manager tuning for the BDS flows (reordering
     /// budget; see bdd::ManagerParams). Defaults keep preset fingerprints.
     bdd::ManagerParams manager;
+    /// Consult the process-wide canonical cone cache in the BDS flows
+    /// (FlowOptions::cone_cache): cones repeated across this job's
+    /// circuits — and across jobs for the service lifetime — replay
+    /// cached tapes. Never changes results, only wall time.
+    bool cone_cache = true;
     JobPriority priority = JobPriority::kNormal;
     /// Equivalence engine for the optional sign-off below.
     net::EquivEngine oracle = net::EquivEngine::kAuto;
@@ -106,6 +111,17 @@ struct ServiceStats {
     long networks_synthesized = 0;  ///< flow results across completed jobs
     long mapped_gates = 0;          ///< aggregate over those results
     double mapped_area_um2 = 0.0;
+    // Process-wide memoization snapshots (the caches outlive any one
+    // service, so these count all activity since process start — the warm
+    // state the NEXT job benefits from, not a per-service delta).
+    long long cone_cache_hits = 0;
+    long long cone_cache_misses = 0;
+    long long cone_cache_evictions = 0;
+    long long cone_cache_entries = 0;
+    long long cone_cache_bytes = 0;
+    long long exact_cache_hits = 0;
+    long long exact_cache_misses = 0;
+    int exact_cache_classes = 0;
 };
 
 struct ServiceParams {

@@ -58,6 +58,15 @@ public:
     /// `leaves.size()` must equal num_leaves().
     [[nodiscard]] Signal replay(GateSink& sink, std::span<const Signal> leaves) const;
 
+    /// Heap footprint of the recorded ops (capacity, not size): what a
+    /// memory-budgeted cache holding this tape should account for.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return ops_.capacity() * sizeof(Entry);
+    }
+    /// Drop the recording head-room before publishing the tape into a
+    /// long-lived cache.
+    void shrink_to_fit() { ops_.shrink_to_fit(); }
+
 private:
     enum class Op : std::uint8_t { kAnd, kOr, kXor, kMaj, kMux };
 

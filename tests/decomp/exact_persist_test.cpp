@@ -1,0 +1,190 @@
+// Disk persistence of the exact-synthesis NPN structure cache
+// (ExactSynthesisCache::save_to_file / load_from_file): deterministic
+// canonical-sorted bytes, atomic write-then-rename, and a load path that
+// is tolerant of garbage (missing file, bad magic, wrong version,
+// truncation) and — critically — re-validates every entry semantically,
+// so a corrupted file can never poison synthesis results.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "decomp/exact.hpp"
+#include "tt/npn.hpp"
+
+namespace bdsmaj::decomp {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(static_cast<bool>(out)) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+    put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+/// Truth table of canonical-space literal x_i over 4 variables.
+std::uint16_t literal_tt(int i) {
+    constexpr std::uint16_t kLits[4] = {0xaaaa, 0xcccc, 0xf0f0, 0xff00};
+    return kLits[i];
+}
+
+/// A well-formed file claiming one zero-gate entry: class `canonical`
+/// computed by output ref (index, complemented).
+std::string one_entry_file(std::uint16_t canonical, std::uint8_t out_index,
+                           bool out_compl) {
+    std::string bytes("BMXC");
+    put_u32(bytes, 1);  // version
+    put_u32(bytes, 1);  // count
+    put_u16(bytes, canonical);
+    put_u16(bytes, 0);  // gate count
+    bytes.push_back(static_cast<char>(out_index));
+    bytes.push_back(static_cast<char>(out_compl ? 1 : 0));
+    return bytes;
+}
+
+TEST(ExactPersist, SaveIsDeterministicAndAtomic) {
+    ExactSynthesisCache& cache = ExactSynthesisCache::instance();
+    // Materialize a handful of classes in non-canonical discovery order.
+    for (const std::uint16_t f : {0x6996, 0x8888, 0x1ee1, 0x0001, 0xcafe}) {
+        ASSERT_NE(cache.lookup(tt::npn_canonical(f)), nullptr);
+    }
+    const int classes = cache.stats().classes_cached;
+    ASSERT_GT(classes, 0);
+
+    const std::string p1 = testing::TempDir() + "exact_persist_a.bin";
+    const std::string p2 = testing::TempDir() + "exact_persist_b.bin";
+    EXPECT_EQ(cache.save_to_file(p1), classes);
+    EXPECT_EQ(cache.save_to_file(p2), classes);
+    // Canonical-sorted serialization: byte-identical for the same set.
+    EXPECT_EQ(read_file(p1), read_file(p2));
+    // Atomic rename leaves no temp file behind.
+    std::ifstream tmp(p1 + ".tmp", std::ios::binary);
+    EXPECT_FALSE(static_cast<bool>(tmp));
+
+    // Reloading into the same process inserts nothing (first insert wins,
+    // every class is already materialized) and changes no count.
+    EXPECT_EQ(cache.load_from_file(p1), 0);
+    EXPECT_EQ(cache.stats().classes_cached, classes);
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+TEST(ExactPersist, LoadPrewarmsAndLookupReportsHit) {
+    // Hand-craft a valid file for the literal class — this test must not
+    // materialize it first, so the load really inserts. (ctest runs each
+    // test in its own process, so the singleton starts cold here.)
+    ExactSynthesisCache& cache = ExactSynthesisCache::instance();
+    const std::uint16_t canonical = tt::npn_canonical(literal_tt(0));
+    // The canonical representative of the literal class is itself a
+    // (possibly complemented) literal; find which.
+    int idx = -1;
+    bool compl_out = false;
+    for (int i = 0; i < 4 && idx < 0; ++i) {
+        if (literal_tt(i) == canonical) { idx = i; }
+        if (static_cast<std::uint16_t>(~literal_tt(i)) == canonical) {
+            idx = i;
+            compl_out = true;
+        }
+    }
+    ASSERT_GE(idx, 0) << "literal class canonical is not a literal?";
+
+    const std::string path = testing::TempDir() + "exact_persist_warm.bin";
+    write_file(path, one_entry_file(canonical, static_cast<std::uint8_t>(idx),
+                                    compl_out));
+    const int before = cache.stats().classes_cached;
+    EXPECT_EQ(cache.load_from_file(path), 1);
+    EXPECT_EQ(cache.stats().classes_cached, before + 1);
+    // Loading again: first insert wins.
+    EXPECT_EQ(cache.load_from_file(path), 0);
+
+    bool was_hit = false;
+    const auto s = cache.lookup(canonical, &was_hit);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(was_hit) << "pre-warmed class should hit, not re-enumerate";
+    EXPECT_EQ(s->gate_count(), 0);
+    EXPECT_EQ(s->eval_tt(), canonical);
+    std::remove(path.c_str());
+}
+
+TEST(ExactPersist, GarbageFilesLoadNothing) {
+    ExactSynthesisCache& cache = ExactSynthesisCache::instance();
+    const std::string path = testing::TempDir() + "exact_persist_garbage.bin";
+
+    // Missing file.
+    std::remove(path.c_str());
+    EXPECT_EQ(cache.load_from_file(path), 0);
+
+    // Bad magic.
+    write_file(path, "NOPE\x01\x00\x00\x00\x00\x00\x00\x00");
+    EXPECT_EQ(cache.load_from_file(path), 0);
+
+    // Unknown version.
+    {
+        std::string bytes("BMXC");
+        put_u32(bytes, 99);
+        put_u32(bytes, 0);
+        write_file(path, bytes);
+        EXPECT_EQ(cache.load_from_file(path), 0);
+    }
+
+    // Truncated mid-entry: header promises one entry, payload ends early.
+    {
+        std::string bytes("BMXC");
+        put_u32(bytes, 1);
+        put_u32(bytes, 1);
+        put_u16(bytes, 0x1234);  // canonical, then nothing else
+        write_file(path, bytes);
+        EXPECT_EQ(cache.load_from_file(path), 0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExactPersist, SemanticallyCorruptEntriesAreSkipped) {
+    // A well-framed entry whose program does NOT compute its claimed
+    // class: claim the parity class but supply a bare literal. The
+    // eval_tt() re-validation must reject it — and a later lookup must
+    // still produce a correct structure from enumeration.
+    ExactSynthesisCache& cache = ExactSynthesisCache::instance();
+    const std::uint16_t parity = tt::npn_canonical(0x6996);
+    ASSERT_NE(parity, literal_tt(0));
+    const std::string path = testing::TempDir() + "exact_persist_corrupt.bin";
+    write_file(path, one_entry_file(parity, /*out_index=*/0, /*out_compl=*/false));
+    const int before = cache.stats().classes_cached;
+    EXPECT_EQ(cache.load_from_file(path), 0) << "lying entry must be skipped";
+    EXPECT_EQ(cache.stats().classes_cached, before);
+
+    // Structurally invalid too: an output ref into a nonexistent gate.
+    write_file(path, one_entry_file(parity, /*out_index=*/7, /*out_compl=*/false));
+    EXPECT_EQ(cache.load_from_file(path), 0);
+
+    const auto s = cache.lookup(parity);
+    ASSERT_NE(s, nullptr);
+    // The lying entry was a bare zero-gate literal; the genuine parity
+    // structure needs real gates. Serving gates > 0 proves the rejected
+    // entry never made it into the cache.
+    EXPECT_GT(s->gate_count(), 0);
+    EXPECT_EQ(s->eval_tt(), parity);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bdsmaj::decomp

@@ -181,9 +181,17 @@ TEST(Strategy, NpnCacheHitPathEqualsEnumerationPath) {
     // Two identical runs: whatever mix of misses (first touch) and hits
     // (cache already warm) each run sees, the emitted networks must be
     // byte-identical — the cached program IS the enumerated program.
+    // The cone cache must be off here: with it on, the second run would
+    // replay cached tapes and never touch the NPN cache at all.
     const Network input = benchgen::benchmark_by_name("f51m", /*quick=*/true);
-    const DecompFlowResult first = run_preset(input, "exact-aggressive");
-    const DecompFlowResult second = run_preset(input, "exact-aggressive");
+    const auto run_uncached = [&input](const std::string& preset) {
+        DecompFlowParams params;
+        params.engine.preset = preset;
+        params.cone_cache = false;
+        return decompose_network(input, params);
+    };
+    const DecompFlowResult first = run_uncached("exact-aggressive");
+    const DecompFlowResult second = run_uncached("exact-aggressive");
     EXPECT_EQ(net::write_blif(first.network), net::write_blif(second.network));
     EXPECT_EQ(first.engine_stats.exact_steps, second.engine_stats.exact_steps);
     // The second run touches only classes the first already materialized.

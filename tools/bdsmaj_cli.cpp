@@ -18,6 +18,15 @@
 //   --iterations N                balancing iteration limit
 //   --jobs N                      per-run worker budget (0 = all cores);
 //                                 output is identical at any setting
+//   --cone-cache-mb N             memory budget of the process-wide cone
+//                                 result cache (default 64); repeated cones
+//                                 replay cached tapes instead of being
+//                                 re-decomposed — results are identical
+//   --no-cone-cache               disable cone memoization entirely
+//   --exact-cache FILE            warm-start the exact-synthesis NPN cache
+//                                 from FILE at startup (tolerant: a missing
+//                                 or corrupt file loads nothing) and save
+//                                 the materialized classes back on exit
 //   --quick                       reduced widths for @benchmarks
 //   --verify                      equivalence-check outputs (default on)
 //   --oracle auto|bdd|sat|sim     equivalence engine for --verify
@@ -56,6 +65,8 @@
 #include <vector>
 
 #include "benchgen/suite.hpp"
+#include "decomp/cone_cache.hpp"
+#include "decomp/exact.hpp"
 #include "decomp/strategy.hpp"
 #include "flows/flows.hpp"
 #include "flows/service.hpp"
@@ -86,6 +97,9 @@ struct Options {
     int jobs = 1;
     int pool = 0;
     int max_jobs = 0;
+    bool cone_cache = true;
+    int cone_cache_mb = -1;  ///< -1 = keep the library default (64 MiB)
+    std::optional<std::string> exact_cache_path;
     decomp::MajDecompParams maj;
     /// Per-supernode BDD manager tuning (reordering budget). Carried by
     /// the service too, so batch mode supports these flags.
@@ -101,6 +115,8 @@ int usage() {
                  "                  [--sift-max-vars N]\n"
                  "                  [--k-local F] [--k-global F] [--iterations N]\n"
                  "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
+                 "                  [--cone-cache-mb N] [--no-cone-cache]\n"
+                 "                  [--exact-cache FILE]\n"
                  "                  [--oracle auto|bdd|sat|sim]\n"
                  "                  [--batch] [--pool N] [--max-jobs N]\n"
                  "                  <input.blif | @benchmark> [more inputs in batch mode]\n");
@@ -154,12 +170,53 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
                             e.sift_swaps, e.sift_fast_swaps, e.sift_lb_aborts,
                             e.peak_bdd_nodes);
             }
+            if (e.cone_cache_hits + e.cone_cache_misses > 0) {
+                std::printf("  cone cache: hits=%lld misses=%lld evictions=%lld "
+                            "bytes=%lld\n",
+                            e.cone_cache_hits, e.cone_cache_misses,
+                            e.cone_cache_evictions, e.cone_cache_bytes);
+            }
         }
     }
     std::printf("%s: area=%.2fum2 gates=%d delay=%.3fns opt_time=%.3fs%s\n",
                 input.model_name().c_str(), result.mapped.area_um2,
                 result.mapped.gate_count, result.mapped.delay_ns, seconds,
                 verify ? (equivalent ? " [verified]" : " [MISMATCH]") : "");
+}
+
+/// Process-wide memoization summary (cone tape cache + exact NPN cache),
+/// shared by the single and batch paths.
+void print_cache_summary() {
+    const decomp::ConeCacheStats cone = decomp::ConeCache::instance().stats();
+    const decomp::ExactCacheStats exact = decomp::ExactSynthesisCache::instance().stats();
+    std::printf("caches: cone hits=%lld misses=%lld evictions=%lld entries=%lld "
+                "bytes=%lld | exact hits=%llu misses=%llu classes=%d\n",
+                cone.hits, cone.misses, cone.evictions, cone.entries, cone.bytes,
+                static_cast<unsigned long long>(exact.hits),
+                static_cast<unsigned long long>(exact.misses), exact.classes_cached);
+}
+
+/// --exact-cache startup warm-load; tolerant of a missing/corrupt file.
+void load_exact_cache(const Options& opt) {
+    if (!opt.exact_cache_path) return;
+    const int n = decomp::ExactSynthesisCache::instance().load_from_file(*opt.exact_cache_path);
+    if (!opt.quiet && n > 0) {
+        std::printf("exact cache: loaded %d classes from %s\n", n,
+                    opt.exact_cache_path->c_str());
+    }
+}
+
+/// --exact-cache exit save (atomic rename; best-effort).
+void save_exact_cache(const Options& opt) {
+    if (!opt.exact_cache_path) return;
+    const int n = decomp::ExactSynthesisCache::instance().save_to_file(*opt.exact_cache_path);
+    if (n < 0) {
+        std::fprintf(stderr, "warning: could not save exact cache to %s\n",
+                     opt.exact_cache_path->c_str());
+    } else if (!opt.quiet) {
+        std::printf("exact cache: saved %d classes to %s\n", n,
+                    opt.exact_cache_path->c_str());
+    }
 }
 
 bool verify_result(const net::Network& input, const flows::SynthesisResult& result,
@@ -220,6 +277,7 @@ int run_batch(const Options& opt) {
     jp.flow = opt.flow;
     jp.preset = opt.preset;
     jp.manager = opt.manager;
+    jp.cone_cache = opt.cone_cache;
     // Verification runs inside the job (service-side): a failed sign-off
     // fails that job's future instead of handing out a wrong network.
     jp.verify = opt.verify;
@@ -256,6 +314,7 @@ int run_batch(const Options& opt) {
                 "%ld mapped gates, pool=%d threads\n",
                 st.completed, st.failed, st.networks_synthesized, st.mapped_gates,
                 runtime::global_pool_threads());
+    print_cache_summary();
     return all_ok ? 0 : 1;
 }
 
@@ -328,6 +387,16 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.max_jobs = std::atoi(v);
+        } else if (arg == "--cone-cache-mb") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.cone_cache_mb = std::atoi(v);
+        } else if (arg == "--no-cone-cache") {
+            opt.cone_cache = false;
+        } else if (arg == "--exact-cache") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.exact_cache_path = v;
         } else if (arg == "--batch") {
             opt.batch = true;
         } else if (arg == "--quick") {
@@ -363,7 +432,16 @@ int main(int argc, char** argv) {
                              "(bdsmaj/bdspga/all)\n");
         return 2;
     }
-    if (opt.batch || opt.inputs.size() > 1) return run_batch(opt);
+    if (opt.cone_cache_mb >= 0) {
+        decomp::ConeCache::instance().set_budget_bytes(
+            static_cast<std::size_t>(opt.cone_cache_mb) << 20);
+    }
+    load_exact_cache(opt);
+    if (opt.batch || opt.inputs.size() > 1) {
+        const int rc = run_batch(opt);
+        save_exact_cache(opt);
+        return rc;
+    }
 
     if (opt.pool > 0) runtime::configure_global_pool(opt.pool);
     net::Network input;
@@ -386,6 +464,7 @@ int main(int argc, char** argv) {
         params.engine.preset = opt.preset;
         params.manager = opt.manager;
         params.reorder = opt.reorder;
+        params.cone_cache = opt.cone_cache;
         params.jobs = opt.jobs;
         decomp::DecompFlowResult d = decomp::decompose_network(input, params);
         result.flow_name = flows::decorated_flow_name(
@@ -404,8 +483,10 @@ int main(int argc, char** argv) {
     if (opt.verify) equivalent = verify_result(input, result, opt.oracle);
     print_result(input, result, result.optimize_seconds, opt.verify, equivalent,
                  opt.quiet);
+    if (!opt.quiet) print_cache_summary();
 
     if (opt.out) net::write_blif_file(result.optimized, *opt.out);
     if (opt.map_out) net::write_blif_file(result.mapped.netlist, *opt.map_out);
+    save_exact_cache(opt);
     return equivalent ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 # suite through the parallel pipeline at jobs = 1/2/4 and fails if the
 # jobs=4 fingerprints differ from jobs=1 (thread-count determinism), and
 # runs the equivalence-oracle shootout, failing on any verdict drift or a
-# >tolerance SAT wall-time regression.
+# >tolerance SAT wall-time regression. The cone-memoization sweep fails if
+# a cached run's bytes drift from the cache-off run, if the C6288 hit rate
+# drops below its floor, or if the cold path regresses past the tolerance.
 #
 #   tools/ci.sh                        # full gate
 #   BDSMAJ_CI_SKIP_BENCH=1 ...         # tier-1 only
@@ -172,6 +174,33 @@ elif not service["matches_serial"]:
     failures.append("service_throughput: concurrent service results drifted "
                     f"from the serial run: {service['fingerprint']} "
                     f"({service['completed']}/{service['jobs']} completed)")
+# Cone memoization: the cache must be invisible in the results (every
+# cached run byte-identical to the cache-off run, including across service
+# jobs), must actually hit on the self-similar C6288 workload, and must
+# not tax the cold path beyond the shared tolerance.
+cone = fresh.get("cone_cache")
+if cone is None:
+    failures.append("cone_cache: section missing from fresh bench run")
+else:
+    for c in cone["circuits"]:
+        if not c["matches_cache_off"]:
+            failures.append(f"cone_cache: {c['name']} cached output drifted "
+                            "from the cache-off bytes")
+    if not cone["service_identical"]:
+        failures.append("cone_cache: warm second service job returned "
+                        "different bytes than the cold first job")
+    c6288 = next((c for c in cone["circuits"] if c["name"] == "C6288"), None)
+    if c6288 is None:
+        failures.append("cone_cache: C6288 missing from the sweep")
+    elif c6288["hit_rate"] < 0.6:
+        failures.append("cone_cache: C6288 cold hit rate fell below the 60% "
+                        f"floor ({c6288['hit_rate']:.1%}) — canonicalization "
+                        "stopped unifying the multiplier's repeated cones")
+    if compare_times:
+        for c in cone["circuits"]:
+            check_time(f"cone_cache.{c['name']}.cold_vs_off",
+                       c["off_seconds"], c["cold_seconds"])
+
 if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"]:
     failures.append("table2_synthesis: equivalence verification failed")
 if fresh["ablation_mdom"]["equivalent"] != fresh["ablation_mdom"]["runs"]:
