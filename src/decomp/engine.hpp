@@ -52,14 +52,30 @@ struct EngineParams {
     /// decomposer. Unknown names throw std::invalid_argument at
     /// construction.
     std::string preset = "paper";
-    /// Support cap for the exact small-cone strategy (hard limit 4).
-    int exact_max_support = 4;
+    /// Support cap for the exact cone strategy. Up to 4 uses the
+    /// pre-enumerated NPN table (decomp/exact.hpp); 5 and 6 engage the
+    /// on-demand SAT backend (decomp/exact_sat.hpp). Hard limit 6.
+    int exact_max_support = 6;
+    /// Conflict budget per SAT synthesis call on a 5-6 var cone class;
+    /// exhaustion records a negative cache entry and falls back to the
+    /// heuristic ladder (nothing partial is emitted). <= 0 disables the
+    /// SAT backend outright (wide cones fall through to the ladder).
+    long long exact_sat_budget = 10000;
+    /// Longest chain the SAT backend tries before declaring a class
+    /// unsynthesizable at this effort.
+    int exact_sat_max_steps = 8;
     /// Profitability gate for the exact strategy: serve a cached structure
     /// only when its gate count is below |dag(f)| + this margin (more
     /// negative = more conservative, preserving the ladder's cross-cone
     /// sharing; see ExactSmallConeStrategy). -1 is the measured sweet spot
     /// on the MCNC suite.
     int exact_min_saving = -1;
+    /// The same margin for the 5-6 var SAT-synthesized cones, which are
+    /// larger sharing-opaque blocks and need a harsher bar (see
+    /// ExactSmallConeStrategy::propose_wide); tuned on MCNC mapped gates:
+    /// -4 ties the 4-var-only backend while still serving wide cones,
+    /// shallower margins lose the ladder's cross-cone sharing.
+    int exact_min_saving_wide = -4;
 };
 
 /// Counts of applied decompositions, one increment per recursion step.
@@ -74,12 +90,23 @@ struct EngineStats {
     int maj_steps = 0;
     int mux_steps = 0;
     int exact_steps = 0;    ///< whole cones served by the exact backend
+    int exact_wide_steps = 0;  ///< the 5-6 var SAT-backed subset of exact_steps
     int gen_xor_steps = 0;  ///< the generalized (stage 3) subset of xor_steps
     int maj_attempts = 0;   ///< majority decompositions evaluated
     int maj_rejected = 0;   ///< failed the global advantage gate
     int literal_leaves = 0;
     long long npn_cache_hits = 0;
     long long npn_cache_misses = 0;
+    // SAT exact-synthesis telemetry (the 5-6 var wide path). Like
+    // npn_cache_*, these depend on prior process history — a class
+    // synthesized earlier (or loaded from disk) is a cache hit that skips
+    // the solver — so they stay outside determinism fingerprints. The
+    // served PROGRAMS are deterministic: a hit returns byte-for-byte what
+    // a cold synthesis at equal-or-lower effort would have produced.
+    long long exact_sat_synthesized = 0;  ///< solver calls actually made
+    long long exact_sat_cache_hits = 0;   ///< wide classes served from cache
+    long long exact_sat_fallbacks = 0;    ///< budget/steps exhausted -> ladder
+    long long exact_sat_conflicts = 0;    ///< total solver conflicts spent
     // Cone-memoization telemetry (decomp/cone_cache.hpp; filled by the
     // flow layer). Like npn_cache_*, hit/miss/eviction counts depend on
     // prior process history — a cone decomposed by an earlier run or a

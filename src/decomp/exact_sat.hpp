@@ -1,0 +1,132 @@
+#pragma once
+// SAT-based exact synthesis for 5-6 input cones (the >= 5-var extension of
+// the enumerated backend in decomp/exact.hpp).
+//
+// The narrow backend pre-enumerates all 65536 4-var functions; that is
+// hopeless at 2^32 / 2^64 functions, so wider cones are synthesized
+// on demand by asking a SAT solver (sat/solver.hpp) a sequence of
+// percy-style questions: "does an r-step straight-line chain over
+// {MAJ, AND, OR, XOR, MUX} with free input/output polarities compute tt?"
+// for r growing from a fanin lower bound. The encoding is the standard
+// selection-variable scheme over *normal* chains:
+//
+//   * step i picks an ordered operand triple (j < k < l) from the inputs
+//     and earlier steps via selection variables sel_i[t];
+//   * seven operator bits f_i[1..7] give the step's output for each
+//     nonzero operand pattern — f_i(000) = 0 is implicit, making every
+//     step a normal function. The gate alphabet with polarities is closed
+//     under output complement (~AND = OR of complements, ~MAJ = MAJ of
+//     complements, ~MUX(s,t,e) = MUX(s,~t,~e), XOR absorbs complements),
+//     so normal chains lose no generality: the target is normalized to
+//     tt(0...0) = 0 and the recorded output polarity restores it;
+//   * per-operator-bit "forbidden pattern" clauses restrict each step's
+//     8-bit table to the ~30 tables a single gate of the alphabet (with
+//     operand polarities) can realize; decode maps the table back to
+//     (op, operand roles, operand complements);
+//   * value variables v_i[m] tie steps to the target on a small, growing
+//     set of counterexample minterms (CEGAR): a candidate model is decoded
+//     and evaluated against the full 64-bit truth table in O(r) word ops,
+//     and the lowest differing minterm refines the encoding. Most calls
+//     converge with a handful of minterms instead of all 2^n;
+//   * chain lengths share one incremental solver: the r-specific clauses
+//     (output binding, use-every-step symmetry breaking) are guarded by a
+//     per-r assumption literal, so learned clauses survive the r -> r+1
+//     step and the dead generation is killed with one unit clause;
+//   * for long chains (r >= fence_min_steps) the search switches to fence
+//     topology pre-enumeration: each composition of r into levels gets its
+//     own small solver whose steps may only select operands from lower
+//     levels with at least one operand on the level directly below.
+//     Every DAG chain maps to exactly one fence via longest-path level
+//     assignment, so enumerating all compositions per r stays complete
+//     while each individual CNF is far more constrained. (Partial-DAG
+//     enumeration would refine this further per-topology; fences are the
+//     coarser, cheaper cut of the same idea.)
+//
+// Everything is budgeted by solver conflicts — never wall time — and all
+// tie-breaks (counterexample choice, triple decode, fence order) are
+// deterministic, so a result is a pure function of (tt, n, params): racing
+// workers, any jobs count, and any run-to-run timing converge on identical
+// programs. Budget exhaustion returns kUnknown and the caller falls back
+// to the heuristic ladder; nothing is partially emitted.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "bdd/bdd.hpp"
+#include "decomp/exact.hpp"
+#include "network/gate_sink.hpp"
+#include "tt/npn.hpp"
+
+namespace bdsmaj::decomp {
+
+struct ExactSatParams {
+    /// Total CDCL conflicts one synthesize call may spend, across every
+    /// chain length and fence. Conflicts — not time — keep the verdict
+    /// machine-independent. <= 0 means no budget: immediate kUnknown.
+    long long conflict_budget = 10000;
+    /// Largest chain length tried before giving up with kUnsat.
+    int max_steps = 8;
+    /// Chain lengths >= this use per-fence solvers instead of the shared
+    /// incremental encoding (the unrestricted CNF gets too loose there).
+    int fence_min_steps = 6;
+};
+
+enum class ExactSatStatus : std::uint8_t {
+    kFound,    ///< chain found and validated against the full truth table
+    kUnsat,    ///< proven: no chain of <= max_steps steps computes tt
+    kUnknown,  ///< conflict budget exhausted before a verdict
+};
+
+struct ExactSatResult {
+    ExactSatStatus status = ExactSatStatus::kUnknown;
+    std::shared_ptr<const WideStructure> structure;  ///< kFound only
+    long long conflicts = 0;  ///< solver conflicts actually spent
+    int sat_calls = 0;
+    int steps_tried = 0;  ///< last chain length attempted
+};
+
+/// Synthesize a minimum-length chain computing the n-variable function
+/// `tt` (low 2^n bits; 3 <= n <= 6 — the strategy pipeline calls with 5-6,
+/// smaller n is allowed for tests). On kFound the structure's gates are
+/// dead-code-eliminated from the decoded model, validated by eval_tt(),
+/// and `structure->canonical == tt`. Deterministic: identical
+/// (tt, n, params) always produce the identical result, including the
+/// exact gate list.
+[[nodiscard]] ExactSatResult exact_sat_synthesize(
+    std::uint64_t tt, int num_inputs, const ExactSatParams& params = {});
+
+/// How a concrete 5-6 support cone maps onto a wide canonical class:
+/// truth table over the sorted support, wide NPN class and transform
+/// (apply_npn_w(tt, n, transform) == canonical), support variables.
+struct WideConeMatch {
+    std::uint64_t tt = 0;
+    std::uint64_t canonical = 0;
+    tt::NpnTransformW transform;
+    std::array<int, 6> support{-1, -1, -1, -1, -1, -1};
+    int support_size = 0;
+};
+
+/// Extract the truth table of `f` when its support size is within
+/// [min_support, max_support] (max_support <= 6); nullopt otherwise.
+/// Canonicalization is memoized process-wide (a 6-var canonicalization
+/// walks ~92k transforms; repeated cone shapes pay it once).
+[[nodiscard]] std::optional<WideConeMatch> match_cone_wide(
+    bdd::Manager& mgr, const bdd::Bdd& f, int min_support, int max_support);
+
+/// Replay `s` into `sink` for the cone described by `match` — the wide
+/// analogue of emit_exact_cone: canonical input j resolves through the
+/// inverse NPN transform to the leaf of the matching support variable.
+/// `leaves[v]` must be the sink signal of manager variable v.
+[[nodiscard]] net::Signal emit_exact_cone_wide(
+    const WideConeMatch& match, const WideStructure& s, net::GateSink& sink,
+    std::span<const net::Signal> leaves);
+
+/// Size of the one-gate operator alphabet (distinct normal 3-operand
+/// tables realizable by one {MAJ,AND,OR,XOR,MUX} gate with operand
+/// polarities); exposed for tests and docs.
+[[nodiscard]] int exact_sat_operator_count();
+
+}  // namespace bdsmaj::decomp

@@ -30,6 +30,7 @@
 #include "bdd/bdd.hpp"
 #include "decomp/dominators.hpp"
 #include "decomp/exact.hpp"
+#include "decomp/exact_sat.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -37,7 +38,8 @@ struct EngineParams;
 struct EngineStats;
 
 enum class StrategyKind {
-    kExactSmallCone,   ///< NPN-cached exact structures for support <= 4
+    kExactSmallCone,   ///< exact structures: enumerated (<= 4 vars) and
+                       ///< SAT-synthesized (5-6 vars) cones
     kMajority,         ///< paper stage 1: MAJ on top of the dominator search
     kSimpleDominator,  ///< paper stage 2: 1-/0-/x-dominators -> AND/OR/XOR
     kGeneralizedXor,   ///< paper stage 3: non-disjoint XOR split
@@ -52,7 +54,7 @@ enum class SelectionMode { kFirstFit, kBestCost };
 /// kExact, a cached replay program that covers the whole cone).
 struct Candidate {
     StrategyKind source = StrategyKind::kShannonMux;
-    enum class Op { kAnd, kOr, kXor, kMaj, kMux, kExact } op = Op::kMux;
+    enum class Op { kAnd, kOr, kXor, kMaj, kMux, kExact, kExactWide } op = Op::kMux;
     /// Recursion operands: AND/OR/XOR use {a = quotient, b = divisor};
     /// MAJ uses {a, b, c}; MUX uses {a = then-cofactor, b = else-cofactor}
     /// with `mux_var` as the select literal.
@@ -61,6 +63,10 @@ struct Candidate {
     /// kExact payload: the cone binding and the cached program.
     ConeMatch match;
     std::shared_ptr<const ExactStructure> structure;
+    /// kExactWide payload: the 5-6 var cone binding and its SAT-synthesized
+    /// (or cache-served) program.
+    WideConeMatch wide_match;
+    std::shared_ptr<const WideStructure> wide_structure;
 };
 
 /// One recursion step as seen by strategies: the function, its dominator

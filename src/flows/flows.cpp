@@ -46,6 +46,15 @@ SynthesisResult from_decomposition(std::string name, const net::Network& input,
     decomp::DecompFlowParams params;
     params.engine.use_majority = use_majority;
     params.engine.preset = options.preset;
+    if (options.exact_max_support >= 0) {
+        params.engine.exact_max_support = options.exact_max_support;
+    }
+    if (options.exact_sat_budget >= 0) {
+        params.engine.exact_sat_budget = options.exact_sat_budget;
+    }
+    if (options.exact_sat_max_steps >= 0) {
+        params.engine.exact_sat_max_steps = options.exact_sat_max_steps;
+    }
     params.manager = options.manager;
     params.cone_cache = options.cone_cache;
     params.jobs = options.jobs;

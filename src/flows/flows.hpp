@@ -34,6 +34,15 @@ struct FlowOptions {
     /// bound, converging sift, variable cap). Defaults keep the preset
     /// fingerprints; ABC/DC ignore it.
     bdd::ManagerParams manager{};
+    /// Exact-cone effort overrides for the BDS flows; negative = keep the
+    /// EngineParams default. exact_max_support caps the exact strategy's
+    /// cone width (4 = enumerated classes only, 5-6 engage the SAT
+    /// backend); exact_sat_budget is its per-class conflict budget (0
+    /// disables SAT synthesis); exact_sat_max_steps the longest chain
+    /// tried. ABC/DC ignore all three.
+    int exact_max_support = -1;
+    long long exact_sat_budget = -1;
+    int exact_sat_max_steps = -1;
     /// Consult the process-wide canonical cone cache in the BDS flows
     /// (DecompFlowParams::cone_cache): repeated cones — within a circuit,
     /// across circuits, across jobs — replay cached GateTapes instead of

@@ -70,6 +70,11 @@ struct SynthesisJobParams {
     /// Per-supernode BDD manager tuning for the BDS flows (reordering
     /// budget; see bdd::ManagerParams). Defaults keep preset fingerprints.
     bdd::ManagerParams manager;
+    /// Exact-cone effort overrides (FlowOptions semantics: negative =
+    /// engine default; see flows.hpp).
+    int exact_max_support = -1;
+    long long exact_sat_budget = -1;
+    int exact_sat_max_steps = -1;
     /// Consult the process-wide canonical cone cache in the BDS flows
     /// (FlowOptions::cone_cache): cones repeated across this job's
     /// circuits — and across jobs for the service lifetime — replay

@@ -1,0 +1,149 @@
+// The 5-6 variable SAT-backed exact path at the strategy/flow level:
+// wide cones actually fire on cone-rich inputs, stay oracle-equivalent,
+// degrade cleanly (and byte-identically) when the conflict budget is
+// exhausted, and are deterministic across job counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchgen/suite.hpp"
+#include "decomp/flow.hpp"
+#include "decomp/strategy.hpp"
+#include "network/blif.hpp"
+#include "network/builder.hpp"
+#include "network/network.hpp"
+#include "network/simulate.hpp"
+
+namespace bsm = bdsmaj;
+
+namespace bdsmaj::decomp {
+namespace {
+
+using net::Network;
+using net::Signal;
+
+/// A network rich in 5-var cones the SAT backend should serve. Every
+/// internal gate is single-fanout and the three outputs use disjoint
+/// supports, so the partitioner forms one 5-support supernode per output
+/// (multi-fanout nodes would become supernode boundaries and hide the
+/// wide path behind 3-4 var cones).
+Network wide_cone_network() {
+    Network network;
+    net::HashedNetworkBuilder b(network);
+    std::vector<Signal> x;
+    for (int i = 0; i < 15; ++i) {
+        x.push_back(Signal{network.add_input("x" + std::to_string(i)), false});
+    }
+    // m0 = x0 ? (x1 & x2) : (x3 | x4) — a 3-gate MUX cone.
+    network.add_output(
+        "m0", b.realize(b.build_mux(x[0], b.build_and(x[1], x[2]),
+                                    b.build_or(x[3], x[4]))));
+    // m1 = x5 ^ (x6 & x7) ^ (x8 | x9) — a 4-gate XOR-mix cone.
+    network.add_output(
+        "m1", b.realize(b.build_xor(
+                  x[5], b.build_xor(b.build_and(x[6], x[7]),
+                                    b.build_or(x[8], x[9])))));
+    // m2 = MAJ(x10, x11 & x12, x13 ^ x14) — a 3-gate majority cone.
+    network.add_output(
+        "m2", b.realize(b.build_maj(x[10], b.build_and(x[11], x[12]),
+                                    b.build_xor(x[13], x[14]))));
+    return network;
+}
+
+DecompFlowResult run_wide(const Network& input, long long budget,
+                          int jobs = 1) {
+    DecompFlowParams params;
+    params.engine.preset = "exact-aggressive";
+    params.engine.exact_sat_budget = budget;
+    // Neutral margin: these tests probe the wide machinery (synthesis,
+    // caching, fallback, determinism), not the MCNC-tuned default gate.
+    params.engine.exact_min_saving_wide = 0;
+    params.jobs = jobs;
+    // The cone cache would replay tapes from earlier tests in this
+    // process and hide the strategy path under scrutiny.
+    params.cone_cache = false;
+    return decompose_network(input, params);
+}
+
+TEST(StrategyWide, WideConesFireAndStayEquivalent) {
+    const Network input = wide_cone_network();
+    const DecompFlowResult r = run_wide(input, /*budget=*/50000);
+    EXPECT_TRUE(net::check_equivalent(input, r.network).equivalent);
+    EXPECT_GT(r.engine_stats.exact_wide_steps, 0)
+        << "5-var cones must be served by the SAT backend";
+    EXPECT_GT(r.engine_stats.exact_sat_synthesized +
+                  r.engine_stats.exact_sat_cache_hits,
+              0);
+}
+
+/// Cones for the starvation test, in NPN classes the other tests never
+/// synthesize: the wide class cache is process-global, and a warm entry
+/// would (by design) serve a program straight past the starved budget.
+Network starvation_network() {
+    Network network;
+    net::HashedNetworkBuilder b(network);
+    std::vector<Signal> x;
+    for (int i = 0; i < 15; ++i) {
+        x.push_back(Signal{network.add_input("x" + std::to_string(i)), false});
+    }
+    // p0 = x0 ^ x1 ^ x2 ^ x3 ^ x4 (parity-5, 4 XOR gates minimum).
+    Signal p0 = x[0];
+    for (int i = 1; i < 5; ++i) p0 = b.build_xor(p0, x[i]);
+    network.add_output("p0", b.realize(p0));
+    // p1 = x5 ^ x6 ^ x7 ^ (x8 & x9).
+    network.add_output(
+        "p1", b.realize(b.build_xor(
+                  b.build_xor(x[5], x[6]),
+                  b.build_xor(x[7], b.build_and(x[8], x[9])))));
+    // p2 = x10 ^ x11 ^ (x12 & x13 & x14).
+    network.add_output(
+        "p2", b.realize(b.build_xor(
+                  b.build_xor(x[10], x[11]),
+                  b.build_and(x[12], b.build_and(x[13], x[14])))));
+    return network;
+}
+
+TEST(StrategyWide, BudgetExhaustionFallsBackCleanly) {
+    // With a 1-conflict budget every synthesis attempt exhausts; the
+    // result must be equivalent, contain no wide cones, and be
+    // byte-identical to disabling the SAT backend outright (nothing
+    // partial leaks into the network).
+    const Network input = starvation_network();
+    const DecompFlowResult starved = run_wide(input, /*budget=*/1);
+    EXPECT_TRUE(net::check_equivalent(input, starved.network).equivalent);
+    EXPECT_EQ(starved.engine_stats.exact_wide_steps, 0);
+    EXPECT_GT(starved.engine_stats.exact_sat_fallbacks, 0);
+
+    const DecompFlowResult disabled = run_wide(input, /*budget=*/0);
+    EXPECT_EQ(disabled.engine_stats.exact_sat_synthesized, 0);
+    EXPECT_EQ(net::write_blif(starved.network), net::write_blif(disabled.network));
+}
+
+TEST(StrategyWide, DeterministicAcrossJobCounts) {
+    const Network input = wide_cone_network();
+    const DecompFlowResult serial = run_wide(input, /*budget=*/50000, /*jobs=*/1);
+    const DecompFlowResult parallel = run_wide(input, /*budget=*/50000, /*jobs=*/8);
+    EXPECT_EQ(net::write_blif(serial.network), net::write_blif(parallel.network));
+    EXPECT_EQ(serial.engine_stats.exact_wide_steps,
+              parallel.engine_stats.exact_wide_steps);
+}
+
+TEST(StrategyWide, WideStepsCountedInStrategyTotals) {
+    const Network input = wide_cone_network();
+    const DecompFlowResult r = run_wide(input, /*budget=*/50000);
+    const EngineStats& s = r.engine_stats;
+    EXPECT_LE(s.exact_wide_steps, s.exact_steps)
+        << "wide steps are a subset of exact steps";
+    int sum = 0;
+    for (const StrategyKind kind :
+         {StrategyKind::kExactSmallCone, StrategyKind::kMajority,
+          StrategyKind::kSimpleDominator, StrategyKind::kGeneralizedXor,
+          StrategyKind::kShannonMux}) {
+        sum += s.steps_for(kind);
+    }
+    EXPECT_EQ(sum, s.total_steps());
+}
+
+}  // namespace
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,105 @@
+// Wide (5-6 variable) exact NPN canonicalization: apply/invert round
+// trips, class invariance under random transforms, and agreement with the
+// 4-variable canonicalizer on its shared domain. These guard the SAT
+// exact-synthesis backend, which keys its class cache by npn_canonical_w.
+
+#include "tt/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace bdsmaj::tt {
+namespace {
+
+std::uint64_t mask_of(int n) {
+    return n >= 6 ? ~0ULL : ((1ULL << (1u << n)) - 1);
+}
+
+NpnTransformW random_transform(std::mt19937_64& rng, int n) {
+    NpnTransformW t;
+    for (int i = n - 1; i > 0; --i) {
+        const int j = static_cast<int>(rng() % static_cast<std::uint64_t>(i + 1));
+        std::swap(t.permutation[static_cast<std::size_t>(i)],
+                  t.permutation[static_cast<std::size_t>(j)]);
+    }
+    t.input_negation = static_cast<std::uint8_t>(rng() & ((1u << n) - 1));
+    t.output_negation = (rng() & 1) != 0;
+    return t;
+}
+
+TEST(NpnWide, ApplyInvertRoundTrip) {
+    std::mt19937_64 rng(12345);
+    for (const int n : {4, 5, 6}) {
+        const std::uint64_t mask = mask_of(n);
+        for (int trial = 0; trial < 200; ++trial) {
+            const std::uint64_t tt = rng() & mask;
+            const NpnTransformW t = random_transform(rng, n);
+            const std::uint64_t mapped = apply_npn_w(tt, n, t);
+            EXPECT_EQ(mapped & ~mask, 0u);
+            EXPECT_EQ(apply_npn_w(mapped, n, invert_npn_w(t, n)), tt);
+        }
+    }
+}
+
+TEST(NpnWide, CanonicalTransformMapsOntoCanonical) {
+    std::mt19937_64 rng(999);
+    for (const int n : {5, 6}) {
+        const std::uint64_t mask = mask_of(n);
+        for (int trial = 0; trial < 30; ++trial) {
+            const std::uint64_t tt = rng() & mask;
+            NpnTransformW t;
+            const std::uint64_t canonical = npn_canonical_w(tt, n, &t);
+            EXPECT_EQ(apply_npn_w(tt, n, t), canonical);
+            EXPECT_LE(canonical, tt) << "representative is the class minimum";
+        }
+    }
+}
+
+TEST(NpnWide, CanonicalIsInvariantUnderRandomTransforms) {
+    std::mt19937_64 rng(31337);
+    for (const int n : {5, 6}) {
+        const std::uint64_t mask = mask_of(n);
+        for (int trial = 0; trial < 20; ++trial) {
+            const std::uint64_t tt = rng() & mask;
+            const std::uint64_t canonical = npn_canonical_w(tt, n);
+            for (int k = 0; k < 5; ++k) {
+                const NpnTransformW t = random_transform(rng, n);
+                EXPECT_EQ(npn_canonical_w(apply_npn_w(tt, n, t), n), canonical);
+            }
+        }
+    }
+}
+
+TEST(NpnWide, AgreesWithNarrowCanonicalizerOnFourVars) {
+    // For n = 4 both canonicalizers minimize over the same transform set,
+    // so the representatives must be numerically identical.
+    std::mt19937_64 rng(777);
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto tt16 = static_cast<std::uint16_t>(rng());
+        EXPECT_EQ(npn_canonical_w(tt16, 4), npn_canonical(tt16));
+    }
+}
+
+TEST(NpnWide, KnownClasses) {
+    // Constant zero is its own representative; a bare literal's class is
+    // the minimum literal truth table x0 = 0xaaaa... pattern.
+    EXPECT_EQ(npn_canonical_w(0, 6), 0u);
+    const std::uint64_t x0 = 0xaaaaaaaaaaaaaaaaULL;
+    const std::uint64_t x5 = 0xffffffff00000000ULL;
+    const std::uint64_t canon_lit = npn_canonical_w(x0, 6);
+    EXPECT_EQ(npn_canonical_w(x5, 6), canon_lit);
+    EXPECT_EQ(npn_canonical_w(~x5, 6), canon_lit);
+    // Parity is NPN-invariant under any input permutation/negation pair.
+    std::uint64_t parity = 0;
+    for (int m = 0; m < 64; ++m) {
+        if (__builtin_popcount(static_cast<unsigned>(m)) & 1) {
+            parity |= 1ULL << m;
+        }
+    }
+    EXPECT_EQ(npn_canonical_w(parity, 6), npn_canonical_w(~parity, 6));
+}
+
+}  // namespace
+}  // namespace bdsmaj::tt

@@ -27,6 +27,11 @@
 //                                 from FILE at startup (tolerant: a missing
 //                                 or corrupt file loads nothing) and save
 //                                 the materialized classes back on exit
+//   --exact-max-support N         widest cone served exactly (<= 4 uses the
+//                                 enumerated classes, 5-6 the SAT backend)
+//   --exact-sat-budget N          conflict budget per SAT-synthesized class
+//   --exact-sat-steps N           longest SAT chain tried per class
+//   --help / -h                   the full option reference on stdout
 //   --quick                       reduced widths for @benchmarks
 //   --verify                      equivalence-check outputs (default on)
 //   --oracle auto|bdd|sat|sim     equivalence engine for --verify
@@ -100,26 +105,94 @@ struct Options {
     bool cone_cache = true;
     int cone_cache_mb = -1;  ///< -1 = keep the library default (64 MiB)
     std::optional<std::string> exact_cache_path;
+    /// Exact-cone effort (FlowOptions semantics: -1 = engine default).
+    int exact_max_support = -1;
+    long long exact_sat_budget = -1;
+    int exact_sat_max_steps = -1;
     decomp::MajDecompParams maj;
     /// Per-supernode BDD manager tuning (reordering budget). Carried by
     /// the service too, so batch mode supports these flags.
     bdd::ManagerParams manager;
 };
 
+/// The full option reference, printed by --help (stdout, exit 0). This
+/// text is the source of truth for docs/cli.md: tools/gen_cli_docs.sh
+/// regenerates the doc from it and tools/ci.sh fails on drift.
+void print_help(std::FILE* to) {
+    std::fprintf(to,
+        "bdsmaj_cli - BDS-MAJ command-line synthesis tool\n"
+        "\n"
+        "usage: bdsmaj_cli [options] <input.blif | @benchmark> [more inputs in batch mode]\n"
+        "\n"
+        "flow selection:\n"
+        "  --flow bdsmaj|bdspga|abc|dc  synthesis flow (default bdsmaj); batch\n"
+        "                               mode additionally accepts \"all\"\n"
+        "  --preset NAME                decomposition strategy preset for the BDS\n"
+        "                               flows (default paper; see --list-presets);\n"
+        "                               works in --batch too\n"
+        "  --list-presets               print the preset catalog and exit\n"
+        "  --no-maj                     shorthand for --flow bdspga\n"
+        "\n"
+        "output:\n"
+        "  --out FILE                   write the optimized network as BLIF\n"
+        "  --map-out FILE               write the mapped netlist as BLIF\n"
+        "  --quiet                      only print the summary line\n"
+        "\n"
+        "engine tuning:\n"
+        "  --no-reorder                 skip per-supernode sifting\n"
+        "  --sift-max-growth F          abort a sift direction past F x best size\n"
+        "  --sift-converge              repeat sift passes until <1%% gain\n"
+        "  --sift-max-vars N            sift at most N variables per pass\n"
+        "  --k-local F / --k-global F   majority selection sizing factors\n"
+        "  --iterations N               balancing iteration limit\n"
+        "\n"
+        "exact synthesis (the exact-* presets):\n"
+        "  --exact-max-support N        widest cone served exactly: <= 4 uses the\n"
+        "                               enumerated NPN classes, 5-6 engage the\n"
+        "                               on-demand SAT backend (default 6)\n"
+        "  --exact-sat-budget N         CDCL conflict budget per SAT-synthesized\n"
+        "                               cone class (default 10000; 0 disables the\n"
+        "                               SAT backend, exhaustion falls back to the\n"
+        "                               heuristic ladder)\n"
+        "  --exact-sat-steps N          longest SAT chain tried per class (default 8)\n"
+        "  --exact-cache FILE           warm-start the exact-synthesis cache from\n"
+        "                               FILE at startup (tolerant: a missing or\n"
+        "                               corrupt file loads nothing) and save the\n"
+        "                               materialized classes back on exit\n"
+        "\n"
+        "parallelism and caching:\n"
+        "  --jobs N                     per-run worker budget (0 = all cores);\n"
+        "                               output is identical at any setting\n"
+        "  --cone-cache-mb N            memory budget of the process-wide cone\n"
+        "                               result cache (default 64); repeated cones\n"
+        "                               replay cached tapes - results are identical\n"
+        "  --no-cone-cache              disable cone memoization entirely\n"
+        "\n"
+        "verification:\n"
+        "  --no-verify                  skip the equivalence sign-off (default on)\n"
+        "  --oracle auto|bdd|sat|sim    equivalence engine for the sign-off\n"
+        "                               (default auto; sim alone is sampled, not\n"
+        "                               an exact sign-off)\n"
+        "\n"
+        "batch service mode (multiple inputs through the shared process pool):\n"
+        "  --batch                      treat every positional arg as an input and\n"
+        "                               submit each as one async service job (also\n"
+        "                               implied by giving more than one input);\n"
+        "                               results print in submission order\n"
+        "  --pool N                     shared-pool thread count (otherwise the\n"
+        "                               BDSMAJ_JOBS env var / all cores)\n"
+        "  --max-jobs N                 jobs admitted concurrently (default: pool\n"
+        "                               size); --jobs is each job's budget\n"
+        "\n"
+        "inputs:\n"
+        "  @name                        built-in generator from the paper's suite,\n"
+        "                               e.g. @C6288 or \"@Div 18 bit\"; --quick uses\n"
+        "                               reduced widths; batch mode mixes @names and\n"
+        "                               BLIF files freely\n");
+}
+
 int usage() {
-    std::fprintf(stderr,
-                 "usage: bdsmaj_cli [--flow bdsmaj|bdspga|abc|dc] [--out f.blif]\n"
-                 "                  [--preset NAME] [--list-presets]\n"
-                 "                  [--map-out f.blif] [--no-maj] [--no-reorder]\n"
-                 "                  [--sift-max-growth F] [--sift-converge]\n"
-                 "                  [--sift-max-vars N]\n"
-                 "                  [--k-local F] [--k-global F] [--iterations N]\n"
-                 "                  [--jobs N] [--quick] [--no-verify] [--quiet]\n"
-                 "                  [--cone-cache-mb N] [--no-cone-cache]\n"
-                 "                  [--exact-cache FILE]\n"
-                 "                  [--oracle auto|bdd|sat|sim]\n"
-                 "                  [--batch] [--pool N] [--max-jobs N]\n"
-                 "                  <input.blif | @benchmark> [more inputs in batch mode]\n");
+    print_help(stderr);
     return 2;
 }
 
@@ -163,6 +236,14 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
                 std::printf("  npn cache: hits=%lld misses=%lld\n", e.npn_cache_hits,
                             e.npn_cache_misses);
             }
+            if (e.exact_wide_steps + e.exact_sat_synthesized +
+                    e.exact_sat_fallbacks + e.exact_sat_cache_hits > 0) {
+                std::printf("  exact sat: wide-cones=%d synthesized=%lld "
+                            "cache-hits=%lld fallbacks=%lld conflicts=%lld\n",
+                            e.exact_wide_steps, e.exact_sat_synthesized,
+                            e.exact_sat_cache_hits, e.exact_sat_fallbacks,
+                            e.exact_sat_conflicts);
+            }
             // Reordering effort across the supernode managers.
             if (e.sift_swaps + e.sift_fast_swaps + e.sift_lb_aborts > 0) {
                 std::printf("  reorder: swaps=%lld fast-swaps=%lld lb-aborts=%lld "
@@ -190,10 +271,12 @@ void print_cache_summary() {
     const decomp::ConeCacheStats cone = decomp::ConeCache::instance().stats();
     const decomp::ExactCacheStats exact = decomp::ExactSynthesisCache::instance().stats();
     std::printf("caches: cone hits=%lld misses=%lld evictions=%lld entries=%lld "
-                "bytes=%lld | exact hits=%llu misses=%llu classes=%d\n",
+                "bytes=%lld | exact hits=%llu misses=%llu classes=%d "
+                "wide-classes=%d\n",
                 cone.hits, cone.misses, cone.evictions, cone.entries, cone.bytes,
                 static_cast<unsigned long long>(exact.hits),
-                static_cast<unsigned long long>(exact.misses), exact.classes_cached);
+                static_cast<unsigned long long>(exact.misses), exact.classes_cached,
+                exact.wide_classes_cached);
 }
 
 /// --exact-cache startup warm-load; tolerant of a missing/corrupt file.
@@ -277,6 +360,9 @@ int run_batch(const Options& opt) {
     jp.flow = opt.flow;
     jp.preset = opt.preset;
     jp.manager = opt.manager;
+    jp.exact_max_support = opt.exact_max_support;
+    jp.exact_sat_budget = opt.exact_sat_budget;
+    jp.exact_sat_max_steps = opt.exact_sat_max_steps;
     jp.cone_cache = opt.cone_cache;
     // Verification runs inside the job (service-side): a failed sign-off
     // fails that job's future instead of handing out a wrong network.
@@ -327,7 +413,10 @@ int main(int argc, char** argv) {
         const auto next = [&]() -> const char* {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
-        if (arg == "--flow") {
+        if (arg == "--help" || arg == "-h") {
+            print_help(stdout);
+            return 0;
+        } else if (arg == "--flow") {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.flow = v;
@@ -397,6 +486,18 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.exact_cache_path = v;
+        } else if (arg == "--exact-max-support") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.exact_max_support = std::atoi(v);
+        } else if (arg == "--exact-sat-budget") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.exact_sat_budget = std::atoll(v);
+        } else if (arg == "--exact-sat-steps") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.exact_sat_max_steps = std::atoi(v);
         } else if (arg == "--batch") {
             opt.batch = true;
         } else if (arg == "--quick") {
@@ -462,6 +563,15 @@ int main(int argc, char** argv) {
         params.engine.use_majority = opt.flow == "bdsmaj";
         params.engine.maj = opt.maj;
         params.engine.preset = opt.preset;
+        if (opt.exact_max_support >= 0) {
+            params.engine.exact_max_support = opt.exact_max_support;
+        }
+        if (opt.exact_sat_budget >= 0) {
+            params.engine.exact_sat_budget = opt.exact_sat_budget;
+        }
+        if (opt.exact_sat_max_steps >= 0) {
+            params.engine.exact_sat_max_steps = opt.exact_sat_max_steps;
+        }
         params.manager = opt.manager;
         params.reorder = opt.reorder;
         params.cone_cache = opt.cone_cache;

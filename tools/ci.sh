@@ -10,6 +10,10 @@
 # >tolerance SAT wall-time regression. The cone-memoization sweep fails if
 # a cached run's bytes drift from the cache-off run, if the C6288 hit rate
 # drops below its floor, or if the cold path regresses past the tolerance.
+# The exact-SAT suite fails on any verdict/gate-count/conflict drift and
+# on a fallback-rate increase. Documentation is gated too: docs/cli.md
+# must byte-match what tools/gen_cli_docs.sh regenerates from the fresh
+# binary, and every advertised preset must appear in README.md.
 #
 #   tools/ci.sh                        # full gate
 #   BDSMAJ_CI_SKIP_BENCH=1 ...         # tier-1 only
@@ -42,6 +46,28 @@ cmake --build build -j"$JOBS"
 
 echo "==> tier-1: ctest"
 (cd build && ctest --output-on-failure -j"$JOBS")
+
+echo "==> docs: CLI reference drift check"
+# docs/cli.md is generated from the binary's own --help/--list-presets
+# output; regenerate it against the fresh build and fail on any byte
+# difference — a flag added (or reworded) without re-running
+# tools/gen_cli_docs.sh is documentation drift.
+tools/gen_cli_docs.sh build/bdsmaj_cli /tmp/bdsmaj_cli_docs_check.md >/dev/null
+if ! diff -u docs/cli.md /tmp/bdsmaj_cli_docs_check.md; then
+    echo "DOC DRIFT: docs/cli.md does not match the built CLI's --help/"
+    echo "--list-presets output. Run tools/gen_cli_docs.sh and commit."
+    exit 1
+fi
+
+echo "==> docs: README preset coverage check"
+# Every preset the binary advertises must at least be named in the
+# README's preset table; a new preset that skips the README is drift too.
+./build/bdsmaj_cli --list-presets | awk 'NR > 1 { print $1 }' | while read -r preset; do
+    if ! grep -q -- "$preset" README.md; then
+        echo "DOC DRIFT: preset \"$preset\" is missing from README.md"
+        exit 1
+    fi
+done
 
 if [[ "${BDSMAJ_CI_SKIP_BENCH:-0}" != "0" ]]; then
     echo "==> bench gate skipped (BDSMAJ_CI_SKIP_BENCH)"
@@ -206,6 +232,39 @@ if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"
 if fresh["ablation_mdom"]["equivalent"] != fresh["ablation_mdom"]["runs"]:
     failures.append("ablation_mdom: equivalence verification failed "
                     f"({fresh['ablation_mdom']['equivalent']}/{fresh['ablation_mdom']['runs']})")
+
+# Exact SAT synthesis: every verdict, gate count, and conflict total in
+# the suite is a pure function of (tt, n, params) — any drift means the
+# encoding, the search order, or the solver changed behavior. The
+# fallback rate (kUnknown verdicts at the default budget) must not rise:
+# that is the fraction of cones the strategy pipeline would lose to the
+# heuristic ladder.
+exact_sat = fresh.get("exact_sat")
+if exact_sat is None:
+    failures.append("exact_sat: section missing from fresh bench run")
+else:
+    committed_es = committed.get("exact_sat")
+    if committed_es is None:
+        failures.append("exact_sat: section missing from committed "
+                        "smoke_reference — regenerate BENCH_core.json")
+    else:
+        committed_fp = {e["name"]: e["fingerprint"]
+                        for e in committed_es["entries"]}
+        for e in exact_sat["entries"]:
+            ref = committed_fp.get(e["name"])
+            if ref is None:
+                failures.append(f"exact_sat: function {e['name']} missing "
+                                "from committed smoke_reference — regenerate "
+                                "BENCH_core.json")
+            elif e["fingerprint"] != ref:
+                failures.append(f"exact_sat: result drifted on {e['name']}:\n"
+                                f"  committed {ref}\n"
+                                f"  fresh     {e['fingerprint']}")
+        if exact_sat["fallback_rate"] > committed_es["fallback_rate"] + 1e-9:
+            failures.append("exact_sat: fallback rate rose to "
+                            f"{exact_sat['fallback_rate']:.1%} (committed "
+                            f"{committed_es['fallback_rate']:.1%}) — more "
+                            "cones now exhaust the budget and fall back")
 
 # Equivalence-oracle shootout: every circuit must keep an exact `proved`
 # verdict (drift means the sign-off got weaker or wrong), and the SAT
