@@ -8,7 +8,16 @@
 //   * reorder    — nodes per second through Rudell sifting, swap/skip/
 //                  lower-bound-abort telemetry, and a post-sift node-count
 //                  fingerprint per MCNC circuit (the final variable order
-//                  must not drift when reordering gets faster);
+//                  must not drift when reordering gets faster); dalu runs
+//                  through dynamic-sifting construction, timed with plain
+//                  and with symmetry-aware reordering;
+//   * symmetry   — symmetry-aware block sifting on symmetric-heavy
+//                  circuits (parity tree, ones counter, voter): swap
+//                  counts with/without symmetry, detected groups/pairs,
+//                  block swaps. tools/ci.sh fails if the with-symmetry
+//                  swap count stops beating the plain count by the
+//                  reduction floor or if post-sift node counts diverge
+//                  between the two modes;
 //   * table2     — end-to-end Table II synthesis (quick widths): all four
 //                  flows plus equivalence checks, the same work
 //                  bench/table2_synthesis.cpp does;
@@ -88,6 +97,7 @@
 #include "benchgen/arith.hpp"
 #include "benchgen/mcnc.hpp"
 #include "benchgen/suite.hpp"
+#include "benchgen/symm.hpp"
 #include "decomp/flow.hpp"
 #include "decomp/strategy.hpp"
 #include "flows/flows.hpp"
@@ -216,7 +226,61 @@ struct ReorderBenchResult {
         long post_sift_nodes = 0;
     };
     std::vector<CircuitFingerprint> circuits;
+    /// dalu, built with dynamic sifting (the only way its monolithic BDD
+    /// stays tractable), timed with plain and with symmetry-aware sifting.
+    struct DaluReorder {
+        double plain_seconds = 0;
+        double sym_seconds = 0;
+        std::uint64_t plain_swaps = 0;
+        std::uint64_t sym_swaps = 0;
+        long post_nodes = 0;
+    } dalu;
 };
+
+/// Build every output BDD of `network`, sifting whenever the live count
+/// crosses a doubling threshold — the standard dynamic-reordering recipe
+/// that keeps input-order-hostile circuits (dalu) from exploding before
+/// their first sift. Returns total seconds spent inside sift().
+double build_with_dynamic_sifting(bdd::Manager& mgr, const net::Network& network,
+                                  std::vector<bdd::Bdd>& outs) {
+    std::vector<bdd::Bdd> value(network.node_count());
+    for (std::size_t i = 0; i < network.inputs().size(); ++i) {
+        value[network.inputs()[i]] = mgr.var_bdd(static_cast<int>(i));
+    }
+    std::size_t threshold = 5000;
+    double sift_seconds = 0;
+    for (const net::NodeId id : network.topo_order()) {
+        const net::Node& n = network.node(id);
+        const auto in = [&](std::size_t k) -> const bdd::Bdd& {
+            return value[n.fanins[k]];
+        };
+        switch (n.kind) {
+            case net::GateKind::kInput: break;
+            case net::GateKind::kConst0: value[id] = mgr.zero(); break;
+            case net::GateKind::kConst1: value[id] = mgr.one(); break;
+            case net::GateKind::kBuf: value[id] = in(0); break;
+            case net::GateKind::kNot: value[id] = !in(0); break;
+            case net::GateKind::kAnd: value[id] = mgr.apply_and(in(0), in(1)); break;
+            case net::GateKind::kOr: value[id] = mgr.apply_or(in(0), in(1)); break;
+            case net::GateKind::kNand: value[id] = !mgr.apply_and(in(0), in(1)); break;
+            case net::GateKind::kNor: value[id] = !mgr.apply_or(in(0), in(1)); break;
+            case net::GateKind::kXor: value[id] = mgr.apply_xor(in(0), in(1)); break;
+            case net::GateKind::kXnor: value[id] = mgr.apply_xnor(in(0), in(1)); break;
+            case net::GateKind::kMaj: value[id] = mgr.maj(in(0), in(1), in(2)); break;
+            case net::GateKind::kMux: value[id] = mgr.ite(in(0), in(1), in(2)); break;
+            case net::GateKind::kSop: std::abort();  // none in the bench circuits
+        }
+        if (mgr.live_node_count() > threshold) {
+            const auto start = Clock::now();
+            mgr.sift();
+            sift_seconds += seconds_since(start);
+            threshold = std::max(threshold, mgr.live_node_count() * 2);
+        }
+    }
+    outs.clear();
+    for (const net::OutputPort& po : network.outputs()) outs.push_back(value[po.driver]);
+    return sift_seconds;
+}
 
 ReorderBenchResult bench_reorder(int reps) {
     ReorderBenchResult out;
@@ -251,9 +315,10 @@ ReorderBenchResult bench_reorder(int reps) {
 
     // MCNC sweep: global output BDDs per circuit, sifted once; the
     // post-sift live node count fingerprints the final variable order.
-    // dalu is excluded: its monolithic BDD explodes in input order (the
-    // pathology the supernode partitioning exists to avoid), so a global
-    // build never finishes; every other MCNC case is tractable.
+    // dalu takes the separate dynamic-sifting path below — its monolithic
+    // BDD explodes when built in input order (the pathology the supernode
+    // partitioning exists to avoid), so a sift-free global build never
+    // finishes; every other MCNC case is tractable.
     std::uint64_t mcnc_swaps = 0, mcnc_avoided = 0;
     for (const benchgen::BenchmarkCase& bc : benchgen::table_suite(/*quick=*/true)) {
         if (!bc.is_mcnc || bc.name == "dalu") continue;
@@ -273,6 +338,85 @@ ReorderBenchResult bench_reorder(int reps) {
         attempted == 0 ? 0.0
                        : static_cast<double>(mcnc_avoided) /
                              static_cast<double>(attempted);
+
+    // dalu, re-admitted: dynamic sifting during construction keeps the
+    // global BDD tractable, so the whole sift cost can be timed with plain
+    // and with symmetry-aware reordering on an identical workload.
+    {
+        const net::Network dalu = benchgen::benchmark_by_name("dalu", /*quick=*/true);
+        for (const bool sym : {false, true}) {
+            bdd::ManagerParams params;
+            params.sift_symmetry = sym;
+            bdd::Manager mgr(static_cast<int>(dalu.inputs().size()), params);
+            std::vector<bdd::Bdd> roots;
+            const double seconds = build_with_dynamic_sifting(mgr, dalu, roots);
+            if (roots.empty()) std::abort();
+            const bdd::ReorderStats& rs = mgr.reorder_stats();
+            add_stats(rs);
+            if (sym) {
+                out.dalu.sym_seconds = seconds;
+                out.dalu.sym_swaps = rs.swaps;
+                out.dalu.post_nodes = static_cast<long>(mgr.live_node_count());
+            } else {
+                out.dalu.plain_seconds = seconds;
+                out.dalu.plain_swaps = rs.swaps;
+            }
+        }
+        out.circuits.push_back({"dalu", out.dalu.post_nodes});
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry-aware reordering on symmetric-heavy circuits: the benchgen
+// parity / ones-counter / voter generators all carry one total symmetry
+// group, so block sifting should collapse almost all singleton swap work.
+// tools/ci.sh fails if the with-symmetry swap count stops beating the
+// plain count by the reduction floor, or if either mode's post-sift node
+// count drifts between modes (symmetry must never change the result size
+// on these circuits — the groups make every order equivalent).
+// ---------------------------------------------------------------------------
+
+struct SymmetryCircuitResult {
+    std::string name;
+    long post_nodes_plain = 0;
+    long post_nodes_sym = 0;
+    std::uint64_t plain_swaps = 0;
+    std::uint64_t sym_swaps = 0;
+    std::uint64_t block_swaps = 0;
+    std::size_t groups = 0;
+    std::size_t pairs = 0;
+};
+
+std::vector<SymmetryCircuitResult> bench_symmetry() {
+    std::vector<SymmetryCircuitResult> out;
+    const net::Network circuits[] = {benchgen::make_parity_tree(16),
+                                     benchgen::make_ones_counter(12),
+                                     benchgen::make_voter(13)};
+    for (const net::Network& network : circuits) {
+        SymmetryCircuitResult r;
+        r.name = network.model_name();
+        for (const bool sym : {false, true}) {
+            bdd::ManagerParams params;
+            params.sift_symmetry = sym;
+            bdd::Manager mgr(static_cast<int>(network.inputs().size()), params);
+            const std::vector<bdd::Bdd> roots = net::network_to_bdds(network, mgr);
+            mgr.sift();
+            if (roots.empty()) std::abort();
+            const bdd::ReorderStats& rs = mgr.reorder_stats();
+            if (sym) {
+                r.post_nodes_sym = static_cast<long>(mgr.live_node_count());
+                r.sym_swaps = rs.swaps;
+                r.block_swaps = rs.sym_block_swaps;
+                r.groups = rs.sym_groups;
+                r.pairs = rs.sym_pairs;
+            } else {
+                r.post_nodes_plain = static_cast<long>(mgr.live_node_count());
+                r.plain_swaps = rs.swaps;
+            }
+        }
+        out.push_back(std::move(r));
+    }
     return out;
 }
 
@@ -914,6 +1058,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ro.fast_swaps),
                 static_cast<unsigned long long>(ro.lb_saved_swaps),
                 100.0 * ro.mcnc_skipped_or_pruned);
+    std::printf("  dalu (dynamic sifting): plain %.3f s / %llu swaps, "
+                "symmetry %.3f s / %llu swaps, %ld nodes\n",
+                ro.dalu.plain_seconds,
+                static_cast<unsigned long long>(ro.dalu.plain_swaps),
+                ro.dalu.sym_seconds,
+                static_cast<unsigned long long>(ro.dalu.sym_swaps),
+                ro.dalu.post_nodes);
+
+    std::printf("bench_core: symmetry-aware reordering (symmetric circuits)...\n");
+    const std::vector<SymmetryCircuitResult> sy = bench_symmetry();
+    for (const SymmetryCircuitResult& s : sy) {
+        std::printf("  %-10s swaps %llu -> %llu (%zu group%s, %zu pairs, "
+                    "%llu block swaps), nodes %ld/%ld\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.plain_swaps),
+                    static_cast<unsigned long long>(s.sym_swaps), s.groups,
+                    s.groups == 1 ? "" : "s", s.pairs,
+                    static_cast<unsigned long long>(s.block_swaps),
+                    s.post_nodes_plain, s.post_nodes_sym);
+    }
 
     std::printf("bench_core: table2 end-to-end (quick%s)...\n",
                 smoke ? ", smoke subset" : "");
@@ -1032,7 +1196,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v9\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v10\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     // Honesty marker: on a 1-hardware-thread container the scaling and
     // service sections can only demonstrate determinism, never speedup.
@@ -1064,6 +1228,34 @@ int main(int argc, char** argv) {
         std::fprintf(f, "      {\"name\": \"%s\", \"nodes\": %ld}%s\n",
                      ro.circuits[i].name.c_str(), ro.circuits[i].post_sift_nodes,
                      i + 1 < ro.circuits.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(f, "    \"dalu_dynamic_sift\": {\n");
+    std::fprintf(f, "      \"plain_seconds\": %.4f,\n", ro.dalu.plain_seconds);
+    std::fprintf(f, "      \"plain_swaps\": %llu,\n",
+                 static_cast<unsigned long long>(ro.dalu.plain_swaps));
+    std::fprintf(f, "      \"symmetry_seconds\": %.4f,\n", ro.dalu.sym_seconds);
+    std::fprintf(f, "      \"symmetry_swaps\": %llu,\n",
+                 static_cast<unsigned long long>(ro.dalu.sym_swaps));
+    std::fprintf(f, "      \"post_sift_nodes\": %ld\n", ro.dalu.post_nodes);
+    std::fprintf(f, "    }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"symmetry\": {\n");
+    std::fprintf(f, "    \"circuits\": [\n");
+    for (std::size_t i = 0; i < sy.size(); ++i) {
+        const SymmetryCircuitResult& s = sy[i];
+        std::fprintf(f,
+                     "      {\"name\": \"%s\", \"plain_swaps\": %llu, "
+                     "\"symmetry_swaps\": %llu, \"block_swaps\": %llu, "
+                     "\"groups\": %zu, \"pairs\": %zu, "
+                     "\"post_sift_nodes_plain\": %ld, "
+                     "\"post_sift_nodes_symmetry\": %ld}%s\n",
+                     s.name.c_str(),
+                     static_cast<unsigned long long>(s.plain_swaps),
+                     static_cast<unsigned long long>(s.sym_swaps),
+                     static_cast<unsigned long long>(s.block_swaps), s.groups,
+                     s.pairs, s.post_nodes_plain, s.post_nodes_sym,
+                     i + 1 < sy.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
@@ -1148,7 +1340,8 @@ int main(int argc, char** argv) {
                      "{\"decomposed_gates\": %ld, \"mapped_gates\": %ld, "
                      "\"mapped_area\": %.4f, \"engine_steps\": "
                      "[%d, %d, %d, %d, %d, %d, %d, %d], "
-                     "\"exact_wide_steps\": %d}, "
+                     "\"exact_wide_steps\": %d, "
+                     "\"symmetric_steps\": %d}, "
                      "\"npn_hits\": %lld, \"npn_misses\": %lld, "
                      "\"exact_sat_synthesized\": %lld, "
                      "\"exact_sat_fallbacks\": %lld}%s\n",
@@ -1157,7 +1350,7 @@ int main(int argc, char** argv) {
                      p.stats.and_steps, p.stats.or_steps, p.stats.xor_steps,
                      p.stats.maj_steps, p.stats.mux_steps, p.stats.exact_steps,
                      p.stats.gen_xor_steps, p.stats.literal_leaves,
-                     p.stats.exact_wide_steps,
+                     p.stats.exact_wide_steps, p.stats.symmetric_steps,
                      p.stats.npn_cache_hits, p.stats.npn_cache_misses,
                      p.stats.exact_sat_synthesized, p.stats.exact_sat_fallbacks,
                      i + 1 < presets.size() ? "," : "");

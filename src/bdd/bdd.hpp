@@ -111,6 +111,12 @@ struct ManagerParams {
     bool sift_converge = false;
     double sift_converge_ratio = 0.01;
     int sift_max_passes = 10;
+    /// Detect pairwise-symmetric variables at each sift pass (candidate
+    /// pairs seeded from the interaction matrix, confirmed by the exact
+    /// adjacent-level structural check) and move each symmetry group as one
+    /// block. Off by default: the `paper` preset is fingerprinted on the
+    /// classical per-variable schedule.
+    bool sift_symmetry = false;
 };
 
 /// Reordering telemetry (monotonic over the manager's lifetime).
@@ -122,6 +128,9 @@ struct ReorderStats {
     std::uint64_t growth_aborts = 0;   ///< directions cut by sift_max_growth
     std::uint64_t passes = 0;          ///< completed sift passes
     std::uint64_t cache_clears_avoided = 0;  ///< reorders that kept the cache
+    std::uint64_t sym_pairs = 0;       ///< adjacent pairs confirmed symmetric
+    std::uint64_t sym_groups = 0;      ///< symmetry groups (size >= 2) detected
+    std::uint64_t sym_block_swaps = 0; ///< unit exchanges involving a block
 };
 
 /// Computed-table telemetry (monotonic over the manager's lifetime).
@@ -292,6 +301,20 @@ public:
     /// path (conservative). Non-interacting adjacent levels swap by label
     /// exchange only. Recomputes the interaction matrix if it is stale.
     [[nodiscard]] bool vars_interact(int a, int b);
+    /// Symmetry groups from the most recent detection (each group sorted by
+    /// variable, groups ordered by their smallest member; singletons
+    /// omitted). Empty when no detection is current — groups are
+    /// invalidated by gc()/new_var()/manual swaps, exactly like the
+    /// interaction matrix, and re-detected at every symmetry-enabled sift
+    /// pass.
+    [[nodiscard]] std::vector<std::vector<int>> symmetry_groups() const;
+    /// Run symmetry detection now (collect garbage, refresh the interaction
+    /// matrix, sweep all adjacent level pairs) and return the groups found.
+    /// Detection is exact for adjacent level pairs on the garbage-free
+    /// store; pairs separated by other levels are discovered across sift
+    /// passes as blocks become adjacent. Exposed for the symmetry oracle
+    /// tests; sift() performs the same detection internally.
+    [[nodiscard]] std::vector<std::vector<int>> compute_symmetry_groups();
     [[nodiscard]] std::size_t live_node_count() const noexcept { return live_nodes_; }
     [[nodiscard]] std::size_t peak_node_count() const noexcept { return peak_nodes_; }
     /// Computed-table hit/miss/insert/collision counters.
@@ -417,10 +440,29 @@ private:
 
     void auto_gc_if_needed();
 
-    // Sifting internals.
+    // Sifting internals. Sifting moves "units": a unit is a detected
+    // symmetry group (contiguous run of levels) or a single variable. With
+    // sift_symmetry off every unit is a singleton and the unit machinery
+    // degenerates bit-for-bit to the classical per-variable schedule.
     std::size_t swap_levels_internal(std::uint32_t upper);
-    void sift_var_to(int var, int target_level);
+    /// Exchange the k-level unit whose top is at `top` with the whole unit
+    /// below (above) it; returns the neighbor unit's size in levels.
+    int swap_unit_down(int top, int k);
+    int swap_unit_up(int top, int k);
+    /// Number of levels of the unit containing `level`, extending downward
+    /// (upward). 1 unless symmetry groups are current.
+    [[nodiscard]] int unit_span_down(int level) const;
+    [[nodiscard]] int unit_span_up(int level) const;
+    void sift_unit_to(int cur_top, int k, int target_top);
     void sift_pass();
+
+    // Symmetry detection (see symmetry_groups()).
+    [[nodiscard]] std::uint32_t sym_find(std::uint32_t v) const;
+    void sym_union(std::uint32_t a, std::uint32_t b);
+    /// Exact structural check that the variables at `upper` and `upper + 1`
+    /// are symmetric in every root. Requires a garbage-free store.
+    [[nodiscard]] bool adjacent_symmetric(std::uint32_t upper);
+    void detect_symmetries();
     /// Clear the computed table only when it may hold stale entries (a node
     /// slot was freed, or an order-dependent result was cached); pure
     /// reorders keep it warm.
@@ -454,6 +496,15 @@ private:
     std::size_t interact_words_ = 0;  // 64-bit words per matrix row
     bool interact_valid_ = false;
     bool interact_trusted_ = false;
+    // Symmetry union-find over variables (parent always <= child, root is
+    // the smallest member). sym_valid_ means the groups describe the
+    // current roots; invalidated wherever the interaction matrix is
+    // (gc()/new_var()) plus manual swap_adjacent_levels, which could split
+    // a group's contiguous level run. Wrong or stale groups can only cost
+    // sift quality, never correctness: block moves are composed of
+    // ordinary verified adjacent swaps.
+    std::vector<std::uint32_t> sym_parent_;
+    bool sym_valid_ = false;
     // Swap scratch, reused across the tens of thousands of adjacent swaps a
     // sift performs (three vector allocations per swap otherwise).
     std::vector<NodeIndex> swap_xs_;

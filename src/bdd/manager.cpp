@@ -117,6 +117,8 @@ void Manager::reset(int num_vars, ManagerParams params) {
     interact_words_ = 0;
     interact_valid_ = false;
     interact_trusted_ = false;
+    sym_parent_.clear();
+    sym_valid_ = false;
     cache_tainted_ = false;
     // Generation-stamped scratch survives as-is: stale stamps are from
     // earlier generations and the wrap-around fill in begin_traversal() /
@@ -131,6 +133,7 @@ int Manager::new_var() {
     var_to_level_.push_back(level);
     level_to_var_.push_back(static_cast<std::uint32_t>(var_to_level_.size() - 1));
     interact_valid_ = false;  // matrix rows are sized for the old var count
+    sym_valid_ = false;       // union-find is sized for the old var count
     return static_cast<int>(var_to_level_.size() - 1);
 }
 
@@ -391,6 +394,10 @@ void Manager::gc() {
     if (dead_nodes_ == 0) return;
     sweep_dead();
     cache_clear();
+    // Symmetry groups describe the root set as of the last detection; a
+    // user-visible collection point is where stale groups are dropped (the
+    // intra-sift sweeps keep them: frees never break root symmetry).
+    sym_valid_ = false;
 }
 
 void Manager::sweep_dead() {
@@ -614,6 +621,36 @@ std::string Manager::check_integrity() const {
     // Every slot is the terminal, tabled, or on the free list.
     if (1 + live + dead + free_count != nodes_.size()) {
         return ("slot accounting mismatch (leaked or double-counted slots)");
+    }
+    // Symmetry census: when groups are current the union-find must be
+    // well-formed (parent <= child, so every chain terminates at its
+    // smallest member) and each group must occupy a contiguous run of
+    // levels — the invariant block moves rely on.
+    if (sym_valid_) {
+        if (sym_parent_.size() != var_to_level_.size()) {
+            return ("symmetry union-find sized for a different var count");
+        }
+        for (std::size_t v = 0; v < sym_parent_.size(); ++v) {
+            if (sym_parent_[v] > v) {
+                return ("symmetry union-find parent above child at var " +
+                        std::to_string(v));
+            }
+        }
+        for (std::size_t v = 0; v < sym_parent_.size(); ++v) {
+            const std::uint32_t root = sym_find(static_cast<std::uint32_t>(v));
+            std::uint32_t lo_level = 0xffffffffu, hi_level = 0, count = 0;
+            for (std::size_t u = 0; u < sym_parent_.size(); ++u) {
+                if (sym_find(static_cast<std::uint32_t>(u)) != root) continue;
+                const std::uint32_t l = var_to_level_[u];
+                lo_level = std::min(lo_level, l);
+                hi_level = std::max(hi_level, l);
+                ++count;
+            }
+            if (hi_level - lo_level + 1 != count) {
+                return ("symmetry group of var " + std::to_string(v) +
+                        " is not level-contiguous");
+            }
+        }
     }
     return {};
 }

@@ -1,0 +1,26 @@
+#pragma once
+// Generators for symmetric-heavy circuits: every output is a totally
+// symmetric function of the inputs (parity, ones count, majority vote).
+// These are the stress workloads for symmetry-aware reordering — their
+// BDDs carry one large symmetry group, so block sifting moves the whole
+// group in O(span) swaps where singleton sifting pays O(span * k) — and
+// for the SymmetricStrategy's ones-counting MAJ decomposition. They are
+// bench/CI circuits only and deliberately NOT part of the paper's
+// Table I/II suite (suite.cpp stays pinned to the published rows).
+
+#include "network/network.hpp"
+
+namespace bdsmaj::benchgen {
+
+/// Balanced XOR tree over `inputs` leaves: out = x0 ^ x1 ^ ... (1 output).
+[[nodiscard]] net::Network make_parity_tree(int inputs);
+
+/// Ones counter: c = popcount(x0..x_{inputs-1}) as a little-endian bus of
+/// ceil(log2(inputs+1)) bits, built from full/half-adder reduction.
+[[nodiscard]] net::Network make_ones_counter(int inputs);
+
+/// Majority voter over an odd number of inputs: out = [popcount > inputs/2]
+/// (ones counter followed by a threshold comparison against the constant).
+[[nodiscard]] net::Network make_voter(int inputs);
+
+}  // namespace bdsmaj::benchgen

@@ -60,7 +60,7 @@ std::string cone_cache_config_blob(const EngineParams& engine,
                                    const bdd::ManagerParams& manager, bool reorder) {
     std::string out;
     out.reserve(128 + engine.preset.size());
-    append_raw(out, std::uint8_t{2});  // blob layout version
+    append_raw(out, std::uint8_t{3});  // blob layout version
     append_str(out, engine.preset);
     append_raw(out, static_cast<std::uint8_t>(engine.use_majority));
     append_raw(out, engine.max_simple_candidates);
@@ -89,6 +89,9 @@ std::string cone_cache_config_blob(const EngineParams& engine,
     append_raw(out, static_cast<std::uint8_t>(manager.sift_converge));
     append_raw(out, manager.sift_converge_ratio);
     append_raw(out, manager.sift_max_passes);
+    append_raw(out, static_cast<std::uint8_t>(manager.sift_symmetry));
+    append_raw(out, engine.symmetric_max_support);
+    append_raw(out, engine.symmetric_min_saving);
     append_raw(out, static_cast<std::uint8_t>(reorder));
     return out;
 }

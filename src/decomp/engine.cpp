@@ -24,10 +24,13 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     mux_steps += o.mux_steps;
     exact_steps += o.exact_steps;
     exact_wide_steps += o.exact_wide_steps;
+    symmetric_steps += o.symmetric_steps;
     gen_xor_steps += o.gen_xor_steps;
     maj_attempts += o.maj_attempts;
     maj_rejected += o.maj_rejected;
     literal_leaves += o.literal_leaves;
+    sym_cone_checks += o.sym_cone_checks;
+    sym_cone_total += o.sym_cone_total;
     npn_cache_hits += o.npn_cache_hits;
     npn_cache_misses += o.npn_cache_misses;
     exact_sat_synthesized += o.exact_sat_synthesized;
@@ -42,11 +45,14 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     sift_fast_swaps += o.sift_fast_swaps;
     sift_lb_aborts += o.sift_lb_aborts;
     peak_bdd_nodes = std::max(peak_bdd_nodes, o.peak_bdd_nodes);
+    sift_sym_groups += o.sift_sym_groups;
+    sift_block_swaps += o.sift_block_swaps;
     return *this;
 }
 
 int EngineStats::steps_for(StrategyKind kind) const noexcept {
     switch (kind) {
+        case StrategyKind::kSymmetric: return symmetric_steps;
         case StrategyKind::kExactSmallCone: return exact_steps;
         case StrategyKind::kMajority: return maj_steps;
         case StrategyKind::kSimpleDominator:
@@ -139,6 +145,16 @@ Signal BddDecomposer::emit(const Candidate& cand) {
             assert(cand.wide_structure != nullptr);
             return emit_exact_cone_wide(cand.wide_match, *cand.wide_structure,
                                         builder_, leaves_);
+        }
+        case Candidate::Op::kSymmetric: {
+            ++stats_.symmetric_steps;
+            std::vector<Signal> inputs;
+            inputs.reserve(cand.sym_vars.size());
+            for (const int v : cand.sym_vars) {
+                assert(v >= 0 && static_cast<std::size_t>(v) < leaves_.size());
+                inputs.push_back(leaves_[static_cast<std::size_t>(v)]);
+            }
+            return build_symmetric_network(builder_, inputs, cand.sym_values);
         }
     }
     assert(false && "unreachable candidate op");

@@ -76,6 +76,16 @@ struct EngineParams {
     /// -4 ties the 4-var-only backend while still serving wide cones,
     /// shallower margins lose the ladder's cross-cone sharing.
     int exact_min_saving_wide = -4;
+    /// Support cap for the symmetric-cone strategy (the `symmetry`
+    /// preset): cones with more support variables than this skip the
+    /// symmetry census entirely.
+    int symmetric_max_support = 12;
+    /// Profitability margin for symmetric cones: serve the ones-counting
+    /// network only when its gate count is below |dag(f)| + this margin.
+    /// At 0 the gate is self-tuning — small symmetric cones (MAJ-3,
+    /// voter-5) have compact ladder yields and are rejected; wide ones are
+    /// where the O(k) counter beats the ~O(k^2) ladder.
+    int symmetric_min_saving = 0;
 };
 
 /// Counts of applied decompositions, one increment per recursion step.
@@ -91,10 +101,17 @@ struct EngineStats {
     int mux_steps = 0;
     int exact_steps = 0;    ///< whole cones served by the exact backend
     int exact_wide_steps = 0;  ///< the 5-6 var SAT-backed subset of exact_steps
+    int symmetric_steps = 0;   ///< cones served as ones-counting networks
     int gen_xor_steps = 0;  ///< the generalized (stage 3) subset of xor_steps
     int maj_attempts = 0;   ///< majority decompositions evaluated
     int maj_rejected = 0;   ///< failed the global advantage gate
     int literal_leaves = 0;
+    // Symmetric-cone census telemetry: cones that passed the cheap size
+    // filter and entered the cofactor-pair check, and the subset confirmed
+    // totally symmetric (served or not — the profitability gate decides
+    // separately, counted by symmetric_steps).
+    long long sym_cone_checks = 0;
+    long long sym_cone_total = 0;
     long long npn_cache_hits = 0;
     long long npn_cache_misses = 0;
     // SAT exact-synthesis telemetry (the 5-6 var wide path). Like
@@ -126,13 +143,15 @@ struct EngineStats {
     long long sift_fast_swaps = 0;  ///< label-only swaps of non-interacting levels
     long long sift_lb_aborts = 0;   ///< sift directions cut by the lower bound
     long long peak_bdd_nodes = 0;   ///< max peak node count over the managers
+    long long sift_sym_groups = 0;  ///< symmetry groups detected during sifting
+    long long sift_block_swaps = 0; ///< multi-level block moves during sifting
 
     EngineStats& operator+=(const EngineStats& o);
 
     /// Total accepted decomposition steps (excludes literal leaves).
     [[nodiscard]] int total_steps() const noexcept {
         return and_steps + or_steps + xor_steps + maj_steps + mux_steps +
-               exact_steps;
+               exact_steps + symmetric_steps;
     }
     /// Steps credited to one strategy; summing over all strategies in a
     /// pipeline yields total_steps() (tests enforce it).

@@ -143,6 +143,8 @@ void decompose_supernode_to_tape(const Network& input, const Supernode& sn,
         stats.sift_fast_swaps = static_cast<long long>(rs.fast_swaps);
         stats.sift_lb_aborts = static_cast<long long>(rs.lb_aborts);
         stats.peak_bdd_nodes = static_cast<long long>(mgr.peak_node_count());
+        stats.sift_sym_groups = static_cast<long long>(rs.sym_groups);
+        stats.sift_block_swaps = static_cast<long long>(rs.sym_block_swaps);
     }  // every Bdd handle dies here, before the lease returns to the pool
 }
 
@@ -181,8 +183,17 @@ struct WorkerState {
 
 }  // namespace
 
-DecompFlowResult decompose_network(const Network& input, const DecompFlowParams& params) {
+DecompFlowResult decompose_network(const Network& input, const DecompFlowParams& orig_params) {
     const auto start = std::chrono::steady_clock::now();
+
+    // Resolve the symmetry-sifting tri-state into the manager knob every
+    // supernode worker sees, BEFORE the cone-cache config blob is built —
+    // the blob must capture the resolved value, not the tri-state.
+    DecompFlowParams params = orig_params;
+    params.manager.sift_symmetry =
+        params.sift_symmetry < 0
+            ? preset_sift_symmetry_default(params.engine.preset)
+            : params.sift_symmetry != 0;
 
     const std::vector<Supernode> supernodes =
         partition_network(input, params.partition);

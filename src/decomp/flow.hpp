@@ -47,6 +47,14 @@ struct DecompFlowParams {
     bdd::ManagerParams manager;
     /// Sift each supernode's local BDD before decomposing (paper SIV-B).
     bool reorder = true;
+    /// Symmetry-aware sifting (detect symmetric variable groups, move them
+    /// as blocks): -1 = let the preset decide
+    /// (preset_sift_symmetry_default; off for `paper` and the pinned
+    /// baselines, on for `symmetry`/`exact-aggressive`/`best-cost`),
+    /// 0 = force off, 1 = force on. Resolved once at decompose_network
+    /// entry into manager.sift_symmetry, before the cone-cache config blob
+    /// is computed.
+    int sift_symmetry = -1;
     /// Consult the process-wide canonical cone cache
     /// (decomp/cone_cache.hpp): a supernode whose canonical cone signature
     /// was decomposed before — by this run, an earlier run, or a

@@ -171,6 +171,74 @@ public:
     }
 };
 
+/// Totally symmetric cones -> ones-counting MAJ network. A function
+/// symmetric in every support variable is fixed by all transpositions of
+/// adjacent support variables, and those generate the full symmetric
+/// group, so k-1 cofactor-pair checks
+///
+///   f|v_i=0,v_{i+1}=1  ==  f|v_i=1,v_{i+1}=0
+///
+/// certify total symmetry exactly (canonical BDDs: equality of edges is
+/// equality of functions). The value vector values[w] = f(any input of
+/// ones-count w) then determines f completely, and the ones-counting
+/// construction (decomp/symmetric.hpp) emits it in O(k) gates. Both the
+/// census and the value extraction are polynomial in the BDD size — no
+/// truth table is ever materialized, so wide supports stay cheap.
+class SymmetricStrategy final : public DecompStrategy {
+public:
+    [[nodiscard]] StrategyKind kind() const noexcept override {
+        return StrategyKind::kSymmetric;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "symmetric";
+    }
+    [[nodiscard]] std::optional<Candidate> propose(StepContext& ctx) override {
+        const std::vector<int> support = ctx.mgr.support_vars(ctx.f);
+        const auto k = static_cast<int>(support.size());
+        if (k < 3 || k > ctx.params.symmetric_max_support) return std::nullopt;
+        // Quick size filter: a totally symmetric function on k variables
+        // has at most k(k+1)/2 + 1 reduced-BDD nodes (w+1 distinct
+        // subfunctions at support level w). Anything bigger cannot pass
+        // the census, so the k-1 cofactor checks are skipped outright.
+        if (ctx.f_size > static_cast<std::size_t>(k * (k + 1) / 2 + 1)) {
+            return std::nullopt;
+        }
+        ++ctx.stats.sym_cone_checks;
+        for (int i = 0; i + 1 < k; ++i) {
+            const Bdd f01 =
+                ctx.mgr.cofactor(ctx.mgr.cofactor(ctx.f, support[static_cast<std::size_t>(i)], false),
+                                 support[static_cast<std::size_t>(i) + 1], true);
+            const Bdd f10 =
+                ctx.mgr.cofactor(ctx.mgr.cofactor(ctx.f, support[static_cast<std::size_t>(i)], true),
+                                 support[static_cast<std::size_t>(i) + 1], false);
+            if (!(f01 == f10)) return std::nullopt;
+        }
+        ++ctx.stats.sym_cone_total;
+        SymmetricValues values(static_cast<std::size_t>(k) + 1);
+        std::vector<bool> assignment(static_cast<std::size_t>(ctx.mgr.num_vars()), false);
+        for (int w = 0; w <= k; ++w) {
+            // Symmetry makes the choice of which w support vars are true
+            // irrelevant; use the first w.
+            if (w > 0) assignment[static_cast<std::size_t>(support[static_cast<std::size_t>(w) - 1])] = true;
+            values[static_cast<std::size_t>(w)] =
+                ctx.mgr.eval(ctx.f, assignment) ? 1 : 0;
+        }
+        // Profitability: the ladder yields ~1 gate per BDD node, so demand
+        // the counter network beat f_size by the configured margin. Small
+        // symmetric cones (MAJ-3, voter-5) have compact ladders and are
+        // naturally rejected; wide ones are where O(k) beats O(k^2).
+        const int limit =
+            static_cast<int>(ctx.f_size) + ctx.params.symmetric_min_saving;
+        if (symmetric_network_cost(values) >= limit) return std::nullopt;
+        Candidate cand;
+        cand.source = StrategyKind::kSymmetric;
+        cand.op = Candidate::Op::kSymmetric;
+        cand.sym_vars = support;
+        cand.sym_values = std::move(values);
+        return cand;
+    }
+};
+
 /// Exact cone strategy: when the support fits in 4 variables, serve the
 /// minimal cached {MAJ,AND,OR,XOR,MUX,NOT} structure for the cone's NPN
 /// class; with exact_max_support >= 5, cones of 5-6 support variables are
@@ -327,6 +395,13 @@ CandidateShape shape_of(const Candidate& cand, StepContext& ctx) {
             cand.wide_structure != nullptr ? cand.wide_structure->gate_count() : 0;
         return s;
     }
+    if (cand.op == Candidate::Op::kSymmetric) {
+        // Like exact candidates, the counter network's gate count is known
+        // before anything is emitted.
+        s.exact = true;
+        s.exact_gates = symmetric_network_cost(cand.sym_values);
+        return s;
+    }
     for (const Bdd* part : {&cand.a, &cand.b, &cand.c}) {
         if (!part->valid()) continue;
         const double n = part_size(ctx, *part);
@@ -351,6 +426,7 @@ CandidateShape shape_of(const Candidate& cand, StepContext& ctx) {
             break;
         case Candidate::Op::kExact:
         case Candidate::Op::kExactWide:
+        case Candidate::Op::kSymmetric:
             break;
     }
     return s;
@@ -401,6 +477,8 @@ public:
 
 std::unique_ptr<DecompStrategy> make_strategy(StrategyKind kind) {
     switch (kind) {
+        case StrategyKind::kSymmetric:
+            return std::make_unique<SymmetricStrategy>();
         case StrategyKind::kExactSmallCone:
             return std::make_unique<ExactSmallConeStrategy>();
         case StrategyKind::kMajority: return std::make_unique<MajorityStrategy>();
@@ -426,6 +504,7 @@ std::unique_ptr<CostModel> make_cost_model(CostModelKind kind) {
 
 std::string_view strategy_name(StrategyKind kind) {
     switch (kind) {
+        case StrategyKind::kSymmetric: return "symmetric";
         case StrategyKind::kExactSmallCone: return "exact-small-cone";
         case StrategyKind::kMajority: return "majority";
         case StrategyKind::kSimpleDominator: return "simple-dominator";
@@ -455,6 +534,10 @@ const std::vector<PresetInfo>& preset_catalog() {
         {"maj-depth",
          "all strategies propose every step; the MAJ-depth cost model "
          "favors shallow majority-heavy structures"},
+        {"symmetry",
+         "totally symmetric cones served as ones-counting MAJ networks, "
+         "then exact structures, then the paper ladder; symmetry-aware "
+         "block sifting on"},
     };
     return catalog;
 }
@@ -492,6 +575,9 @@ StrategyPipelineConfig preset_pipeline(std::string_view name) {
                         K::kGeneralizedXor, K::kShannonMux};
         config.selection = SelectionMode::kBestCost;
         config.cost_model = CostModelKind::kMajDepth;
+    } else if (name == "symmetry") {
+        config.order = {K::kSymmetric, K::kExactSmallCone, K::kMajority,
+                        K::kSimpleDominator, K::kGeneralizedXor, K::kShannonMux};
     } else {
         std::string known;
         for (const PresetInfo& p : preset_catalog()) {
@@ -506,6 +592,11 @@ StrategyPipelineConfig preset_pipeline(std::string_view name) {
         config.order.push_back(K::kShannonMux);
     }
     return config;
+}
+
+bool preset_sift_symmetry_default(std::string_view name) {
+    return name == "symmetry" || name == "exact-aggressive" ||
+           name == "best-cost";
 }
 
 }  // namespace bdsmaj::decomp

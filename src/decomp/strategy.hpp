@@ -31,6 +31,7 @@
 #include "decomp/dominators.hpp"
 #include "decomp/exact.hpp"
 #include "decomp/exact_sat.hpp"
+#include "decomp/symmetric.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -38,6 +39,7 @@ struct EngineParams;
 struct EngineStats;
 
 enum class StrategyKind {
+    kSymmetric,        ///< totally symmetric cones -> ones-counting MAJ network
     kExactSmallCone,   ///< exact structures: enumerated (<= 4 vars) and
                        ///< SAT-synthesized (5-6 vars) cones
     kMajority,         ///< paper stage 1: MAJ on top of the dominator search
@@ -54,7 +56,9 @@ enum class SelectionMode { kFirstFit, kBestCost };
 /// kExact, a cached replay program that covers the whole cone).
 struct Candidate {
     StrategyKind source = StrategyKind::kShannonMux;
-    enum class Op { kAnd, kOr, kXor, kMaj, kMux, kExact, kExactWide } op = Op::kMux;
+    enum class Op {
+        kAnd, kOr, kXor, kMaj, kMux, kExact, kExactWide, kSymmetric
+    } op = Op::kMux;
     /// Recursion operands: AND/OR/XOR use {a = quotient, b = divisor};
     /// MAJ uses {a, b, c}; MUX uses {a = then-cofactor, b = else-cofactor}
     /// with `mux_var` as the select literal.
@@ -67,6 +71,10 @@ struct Candidate {
     /// (or cache-served) program.
     WideConeMatch wide_match;
     std::shared_ptr<const WideStructure> wide_structure;
+    /// kSymmetric payload: the cone's support (manager var indices, in
+    /// support order) and its ones-count value vector.
+    std::vector<int> sym_vars;
+    SymmetricValues sym_values;
 };
 
 /// One recursion step as seen by strategies: the function, its dominator
@@ -126,5 +134,9 @@ struct PresetInfo {
 [[nodiscard]] bool is_known_preset(std::string_view name);
 /// Throws std::invalid_argument (listing the catalog) on unknown names.
 [[nodiscard]] StrategyPipelineConfig preset_pipeline(std::string_view name);
+/// Whether a preset turns symmetry-aware sifting on when the caller left
+/// the knob at its "preset decides" default. `paper` (and the other pinned
+/// baselines) keep it off so their fingerprints stay byte-identical.
+[[nodiscard]] bool preset_sift_symmetry_default(std::string_view name);
 
 }  // namespace bdsmaj::decomp

@@ -1,0 +1,210 @@
+#include "decomp/symmetric.hpp"
+
+#include <cassert>
+#include <optional>
+
+namespace bdsmaj::decomp {
+
+namespace {
+
+using net::Signal;
+
+/// Decoder table over the count bits: entry w is the function value at
+/// ones-count w, entries above k (unreachable counts) are don't-cares.
+using Table = std::vector<std::optional<bool>>;
+
+/// True when the table's value provably depends on count bit b: some pair
+/// of counts differing only in bit b is specified on both sides with
+/// different values. The decoder never muxes on an independent bit (the
+/// half-merge below collapses it first), so only dependent bits need to be
+/// produced by the counter.
+bool table_needs_bit(const Table& t, std::size_t b) {
+    const std::size_t stride = std::size_t{1} << b;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if ((i & stride) != 0) continue;
+        const std::optional<bool>& lo = t[i];
+        const std::optional<bool>& hi = t[i | stride];
+        if (lo && hi && *lo != *hi) return true;
+    }
+    return false;
+}
+
+/// All specified entries equal -> that value; none specified -> false
+/// (free choice); conflicting -> nullopt.
+std::optional<bool> uniform_of(const Table& t, std::size_t begin, std::size_t end) {
+    std::optional<bool> seen;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (!t[i]) continue;
+        if (!seen) {
+            seen = *t[i];
+        } else if (*seen != *t[i]) {
+            return std::nullopt;
+        }
+    }
+    return seen ? seen : std::optional<bool>{false};
+}
+
+/// Mux-tree decoder with don't-care-aware half merging. `bits` are the
+/// count-bit signals, LSB first; the table's size is a power of two.
+Signal decode(net::GateSink& sink, std::span<const Signal> bits, Table t) {
+    // Merge away every top bit the (remaining) table does not depend on:
+    // when the two halves agree wherever both are specified, the bit is
+    // irrelevant and the halves overlay into one table of half the size.
+    // Parity tables merge all the way down to {0, 1} over bit 0.
+    while (t.size() > 1) {
+        const std::size_t half = t.size() / 2;
+        bool compatible = true;
+        for (std::size_t i = 0; i < half; ++i) {
+            if (t[i] && t[i + half] && *t[i] != *t[i + half]) {
+                compatible = false;
+                break;
+            }
+        }
+        if (!compatible) break;
+        for (std::size_t i = 0; i < half; ++i) {
+            if (!t[i]) t[i] = t[i + half];
+        }
+        t.resize(half);
+    }
+    if (t.size() == 1) return sink.constant(t[0].value_or(false));
+
+    const std::size_t half = t.size() / 2;
+    std::size_t bit = 0;
+    while ((std::size_t{1} << (bit + 1)) < t.size()) ++bit;
+    const Signal sel = bits[bit];
+    // Complementary-constant shortcut: the select bit (possibly inverted)
+    // IS the function; skip the 3-gate mux expansion.
+    const std::optional<bool> lo_u = uniform_of(t, 0, half);
+    const std::optional<bool> hi_u = uniform_of(t, half, t.size());
+    if (lo_u && hi_u && *lo_u != *hi_u) return *hi_u ? sel : !sel;
+    const Signal shi = decode(sink, bits, Table(t.begin() + static_cast<std::ptrdiff_t>(half), t.end()));
+    const Signal slo = decode(sink, bits, Table(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(half)));
+    return sink.build_mux(sel, shi, slo);
+}
+
+/// Ones counter over `inputs`, producing count bits 0..max_bit (LSB
+/// first). Buckets below max_bit reduce by full adders (sum: 2 XOR,
+/// carry: 1 MAJ — the majority-logic heart of the construction) and half
+/// adders; the top bucket XOR-folds, since its carries would only feed
+/// bits the decoder never reads (bit w of the count is the parity of the
+/// weight-w wires once all lower carries have arrived).
+std::vector<Signal> build_counter(net::GateSink& sink,
+                                  std::span<const Signal> inputs,
+                                  std::size_t max_bit) {
+    std::vector<std::vector<Signal>> weights(1);
+    weights[0].assign(inputs.begin(), inputs.end());
+    std::vector<Signal> bits;
+    for (std::size_t w = 0; w <= max_bit; ++w) {
+        if (w >= weights.size()) {
+            bits.push_back(sink.constant(false));  // unreachable count bit
+            continue;
+        }
+        std::size_t head = 0;
+        if (w == max_bit) {
+            if (weights[w].size() == 0) {
+                bits.push_back(sink.constant(false));
+                continue;
+            }
+            Signal acc = weights[w][head++];
+            while (head < weights[w].size()) {
+                acc = sink.build_xor(acc, weights[w][head++]);
+            }
+            bits.push_back(acc);
+            continue;
+        }
+        while (weights[w].size() - head >= 2) {
+            if (weights[w].size() - head >= 3) {
+                const Signal a = weights[w][head];
+                const Signal b = weights[w][head + 1];
+                const Signal c = weights[w][head + 2];
+                head += 3;
+                const Signal sum = sink.build_xor(sink.build_xor(a, b), c);
+                const Signal carry = sink.build_maj(a, b, c);
+                weights[w].push_back(sum);
+                if (w + 1 >= weights.size()) weights.emplace_back();
+                weights[w + 1].push_back(carry);
+            } else {
+                const Signal a = weights[w][head];
+                const Signal b = weights[w][head + 1];
+                head += 2;
+                const Signal sum = sink.build_xor(a, b);
+                const Signal carry = sink.build_and(a, b);
+                weights[w].push_back(sum);
+                if (w + 1 >= weights.size()) weights.emplace_back();
+                weights[w + 1].push_back(carry);
+            }
+        }
+        bits.push_back(weights[w].size() - head == 1 ? weights[w][head]
+                                                     : sink.constant(false));
+    }
+    return bits;
+}
+
+Signal build_impl(net::GateSink& sink, std::span<const Signal> inputs,
+                  const SymmetricValues& values) {
+    const std::size_t k = inputs.size();
+    assert(values.size() == k + 1);
+    std::size_t num_bits = 0;
+    while ((std::size_t{1} << num_bits) < k + 1) ++num_bits;
+    Table table(std::size_t{1} << num_bits);
+    for (std::size_t w = 0; w <= k; ++w) table[w] = values[w] != 0;
+
+    // Produce only the count bits the decoder will read; everything above
+    // merges away, so the counter can stop early (a parity table needs
+    // nothing but the XOR fold of bit 0).
+    std::size_t max_bit = 0;
+    bool any = false;
+    for (std::size_t b = 0; b < num_bits; ++b) {
+        if (table_needs_bit(table, b)) {
+            max_bit = b;
+            any = true;
+        }
+    }
+    if (!any) return sink.constant(values[0] != 0);  // constant function
+    const std::vector<Signal> bits = build_counter(sink, inputs, max_bit);
+    return decode(sink, bits, std::move(table));
+}
+
+/// Dry-run sink for the profitability gate: counts emissions (a MUX as the
+/// builder's 3-gate expansion) and fabricates fresh ids so the shared
+/// construction code runs unchanged.
+class CountingSink final : public net::GateSink {
+public:
+    int gates = 0;
+
+    Signal constant(bool value) override { return Signal{0, value}; }
+    Signal build_and(Signal, Signal) override { return gate(1); }
+    Signal build_or(Signal, Signal) override { return gate(1); }
+    Signal build_xor(Signal, Signal) override { return gate(1); }
+    Signal build_maj(Signal, Signal, Signal) override { return gate(1); }
+    Signal build_mux(Signal, Signal, Signal) override { return gate(3); }
+
+private:
+    Signal gate(int cost) {
+        gates += cost;
+        return Signal{++next_, false};
+    }
+    net::NodeId next_ = 0;
+};
+
+}  // namespace
+
+int symmetric_network_cost(const SymmetricValues& values) {
+    assert(values.size() >= 2);
+    const std::size_t k = values.size() - 1;
+    CountingSink sink;
+    std::vector<Signal> inputs(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        inputs[i] = Signal{static_cast<net::NodeId>(1000 + i), false};
+    }
+    (void)build_impl(sink, inputs, values);
+    return sink.gates;
+}
+
+Signal build_symmetric_network(net::GateSink& sink,
+                               std::span<const Signal> inputs,
+                               const SymmetricValues& values) {
+    return build_impl(sink, inputs, values);
+}
+
+}  // namespace bdsmaj::decomp

@@ -1,0 +1,41 @@
+#pragma once
+// Totally symmetric cone decomposition (Benschop-style, PAPERS.md): a
+// function symmetric in all k support variables depends only on the ones
+// count of its inputs, so it factors into
+//
+//   inputs -> ones counter (full-adder tree: 2 XOR + 1 MAJ per FA, the
+//             carry IS a majority gate) -> ceil(log2(k+1)) count bits
+//          -> value decoder (a mux tree over the count bits, collapsed
+//             with don't-care-aware half merging, so e.g. parity reduces
+//             to count bit 0 alone)
+//
+// That is O(k) gates where the generic ladder yields ~1 gate per BDD node
+// of an O(k^2)-node symmetric BDD — the asymmetry the SymmetricStrategy's
+// profitability gate exploits. The construction is a pure function of
+// (k, value vector), emitted as a deterministic GateSink call sequence, so
+// it honors the tape-replay contract like every other emission path.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "network/gate_sink.hpp"
+
+namespace bdsmaj::decomp {
+
+/// Value vector of a totally symmetric function: values[w] is f at any
+/// input with exactly w of the k support variables true (size k + 1).
+using SymmetricValues = std::vector<std::uint8_t>;
+
+/// Gate count build_symmetric_network will emit for this value vector
+/// (counting a MUX as the builder's 3-gate expansion). Deterministic; used
+/// by the strategy's profitability gate before anything is emitted.
+[[nodiscard]] int symmetric_network_cost(const SymmetricValues& values);
+
+/// Emit the ones-counting network for `values` over `inputs` (the cone's
+/// support literals, in support order) into `sink`.
+[[nodiscard]] net::Signal build_symmetric_network(net::GateSink& sink,
+                                                  std::span<const net::Signal> inputs,
+                                                  const SymmetricValues& values);
+
+}  // namespace bdsmaj::decomp

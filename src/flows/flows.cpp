@@ -56,6 +56,7 @@ SynthesisResult from_decomposition(std::string name, const net::Network& input,
         params.engine.exact_sat_max_steps = options.exact_sat_max_steps;
     }
     params.manager = options.manager;
+    params.sift_symmetry = options.sift_symmetry;
     params.cone_cache = options.cone_cache;
     params.jobs = options.jobs;
     params.cancel = options.cancel;

@@ -43,6 +43,10 @@ struct FlowOptions {
     int exact_max_support = -1;
     long long exact_sat_budget = -1;
     int exact_sat_max_steps = -1;
+    /// Symmetry-aware sifting for the BDS flows
+    /// (DecompFlowParams::sift_symmetry tri-state): -1 = preset decides,
+    /// 0 = force off, 1 = force on. ABC/DC ignore it.
+    int sift_symmetry = -1;
     /// Consult the process-wide canonical cone cache in the BDS flows
     /// (DecompFlowParams::cone_cache): repeated cones — within a circuit,
     /// across circuits, across jobs — replay cached GateTapes instead of

@@ -138,12 +138,14 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
     long networks = 0;
     long gates = 0;
     double area = 0.0;
+    long long sym_cones = 0;
     try {
         const FlowSel sel = parse_flow(job->params.flow);
         FlowOptions options;
         options.jobs = job->params.jobs;
         options.preset = job->params.preset;
         options.manager = job->params.manager;
+        options.sift_symmetry = job->params.sift_symmetry;
         options.exact_max_support = job->params.exact_max_support;
         options.exact_sat_budget = job->params.exact_sat_budget;
         options.exact_sat_max_steps = job->params.exact_sat_max_steps;
@@ -180,6 +182,7 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
                 ++networks;
                 gates += r.mapped.gate_count;
                 area += r.mapped.area_um2;
+                sym_cones += r.engine_stats.symmetric_steps;
             }
         }
     } catch (const decomp::FlowCancelled&) {
@@ -204,6 +207,7 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
             networks_synthesized_ += networks;
             mapped_gates_ += gates;
             mapped_area_um2_ += area;
+            symmetric_cones_served_ += sym_cones;
         }
         pump_locked();
         --inflight_;
@@ -272,6 +276,7 @@ ServiceStats SynthesisService::stats() const {
     s.networks_synthesized = networks_synthesized_;
     s.mapped_gates = mapped_gates_;
     s.mapped_area_um2 = mapped_area_um2_;
+    s.symmetric_cones_served = symmetric_cones_served_;
     const decomp::ConeCacheStats cone = decomp::ConeCache::instance().stats();
     s.cone_cache_hits = cone.hits;
     s.cone_cache_misses = cone.misses;

@@ -70,6 +70,9 @@ struct SynthesisJobParams {
     /// Per-supernode BDD manager tuning for the BDS flows (reordering
     /// budget; see bdd::ManagerParams). Defaults keep preset fingerprints.
     bdd::ManagerParams manager;
+    /// Symmetry-aware sifting tri-state for the BDS flows (FlowOptions
+    /// semantics: -1 = preset decides, 0 = off, 1 = on).
+    int sift_symmetry = -1;
     /// Exact-cone effort overrides (FlowOptions semantics: negative =
     /// engine default; see flows.hpp).
     int exact_max_support = -1;
@@ -116,6 +119,9 @@ struct ServiceStats {
     long networks_synthesized = 0;  ///< flow results across completed jobs
     long mapped_gates = 0;          ///< aggregate over those results
     double mapped_area_um2 = 0.0;
+    /// Cones served as ones-counting symmetric networks across completed
+    /// jobs (EngineStats::symmetric_steps aggregate).
+    long long symmetric_cones_served = 0;
     // Process-wide memoization snapshots (the caches outlive any one
     // service, so these count all activity since process start — the warm
     // state the NEXT job benefits from, not a per-service delta).
@@ -210,6 +216,7 @@ private:
     long networks_synthesized_ = 0;
     long mapped_gates_ = 0;
     double mapped_area_um2_ = 0.0;
+    long long symmetric_cones_served_ = 0;
 };
 
 }  // namespace bdsmaj::flows

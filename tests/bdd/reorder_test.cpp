@@ -226,6 +226,82 @@ TEST_P(ReorderInvariantTest, RandomOpSwapSiftSequencesHoldAllInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ReorderInvariantTest, ::testing::Values(3, 5, 7, 9));
 
+class SymmetryInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetryInvariantTest, SymmetrySiftSequencesHoldAllInvariants) {
+    // The symmetry-enabled twin of the invariant suite above: with
+    // sift_symmetry on, check_integrity() additionally audits the symmetry
+    // census (union-find shape + per-group level contiguity) after every
+    // mutation, and new_var() joins the mix since it must invalidate the
+    // groups like it invalidates the interaction matrix.
+    const int n = GetParam();
+    std::mt19937_64 rng(733 + static_cast<unsigned>(n));
+    ManagerParams params;
+    params.sift_symmetry = true;
+    Manager mgr(n, params);
+    int vars = n;
+    std::vector<Bdd> funcs;
+    std::vector<tt::TruthTable> oracle;
+    // Noise functions avoid variables 0 and 1 (cofactored away), so the
+    // XOR triple below keeps (0, 1) genuinely symmetric across ALL roots
+    // throughout the run — real groups stay in play for the census audit.
+    const auto random_noise = [&] {
+        return TruthTable::random(n, rng).cofactor(0, false).cofactor(1, false);
+    };
+    for (int i = 0; i < 3; ++i) {
+        oracle.push_back(random_noise());
+        funcs.push_back(mgr.from_truth_table(oracle.back()));
+    }
+    oracle.push_back(TruthTable::var(n, 0) ^ TruthTable::var(n, 1) ^
+                     TruthTable::var(n, 2));
+    funcs.push_back(mgr.from_truth_table(oracle.back()));
+    const auto verify_all = [&](const char* what, int step) {
+        ASSERT_EQ(mgr.check_integrity(), "") << what << " at step " << step;
+        for (std::size_t i = 0; i < funcs.size(); ++i) {
+            ASSERT_EQ(mgr.to_truth_table(funcs[i], n), oracle[i])
+                << what << " at step " << step << " func " << i;
+        }
+    };
+    for (int step = 0; step < 60; ++step) {
+        switch (rng() % 8) {
+            case 0: case 1: {  // swap a random adjacent pair
+                mgr.swap_adjacent_levels(static_cast<int>(rng() % (vars - 1)));
+                break;
+            }
+            case 2: {  // combine two functions (XOR keeps (0,1) symmetric)
+                const std::size_t i = rng() % funcs.size();
+                const std::size_t j = rng() % funcs.size();
+                funcs[i] = mgr.apply_xor(funcs[i], funcs[j]);
+                oracle[i] = oracle[i] ^ oracle[j];
+                break;
+            }
+            case 3: {  // drop and regrow a function (creates garbage)
+                const std::size_t i = rng() % funcs.size();
+                oracle[i] = random_noise();
+                funcs[i] = mgr.from_truth_table(oracle[i]);
+                break;
+            }
+            case 4: {
+                mgr.gc();
+                break;
+            }
+            case 5: {  // grow the manager; groups must be invalidated
+                if (vars < n + 3) vars = mgr.new_var() + 1;
+                break;
+            }
+            default: {
+                mgr.sift();
+                break;
+            }
+        }
+        verify_all("mutation", step);
+    }
+    EXPECT_GT(mgr.reorder_stats().sym_groups, 0u)
+        << "the XOR triple never formed a group across 60 steps";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetryInvariantTest, ::testing::Values(4, 6, 8));
+
 TEST(Reorder, NonInteractingLevelsSwapByLabelOnly) {
     Manager mgr(4);
     // x0&x1 and x2^x3 are disjoint-support functions: (x1, x2) never

@@ -208,9 +208,9 @@ TEST(Strategy, PerStrategyStepsSumToTotalSteps) {
         const EngineStats& e = r.engine_stats;
         int summed = 0;
         for (const StrategyKind kind :
-             {StrategyKind::kExactSmallCone, StrategyKind::kMajority,
-              StrategyKind::kSimpleDominator, StrategyKind::kGeneralizedXor,
-              StrategyKind::kShannonMux}) {
+             {StrategyKind::kSymmetric, StrategyKind::kExactSmallCone,
+              StrategyKind::kMajority, StrategyKind::kSimpleDominator,
+              StrategyKind::kGeneralizedXor, StrategyKind::kShannonMux}) {
             const int steps = e.steps_for(kind);
             ASSERT_GE(steps, 0) << p.name;
             summed += steps;

@@ -11,6 +11,8 @@
 //   --map-out FILE                write the mapped netlist as BLIF
 //   --no-maj                      shorthand for --flow bdspga
 //   --no-reorder                  skip per-supernode sifting
+//   --sift-symmetry               force symmetry-aware block sifting on
+//   --no-sift-symmetry            force it off (default: the preset decides)
 //   --sift-max-growth F           abort a sift direction past F x best size
 //   --sift-converge               repeat sift passes until <1% gain
 //   --sift-max-vars N             sift at most N variables per pass
@@ -109,6 +111,8 @@ struct Options {
     int exact_max_support = -1;
     long long exact_sat_budget = -1;
     int exact_sat_max_steps = -1;
+    /// Symmetry-aware sifting tri-state (-1 = preset decides, 0/1 forced).
+    int sift_symmetry = -1;
     decomp::MajDecompParams maj;
     /// Per-supernode BDD manager tuning (reordering budget). Carried by
     /// the service too, so batch mode supports these flags.
@@ -140,6 +144,12 @@ void print_help(std::FILE* to) {
         "\n"
         "engine tuning:\n"
         "  --no-reorder                 skip per-supernode sifting\n"
+        "  --sift-symmetry              force symmetry-aware sifting on: detect\n"
+        "                               symmetric variable groups and move them as\n"
+        "                               blocks (default: the preset decides - on\n"
+        "                               for symmetry/exact-aggressive/best-cost,\n"
+        "                               off for the pinned paper baselines)\n"
+        "  --no-sift-symmetry           force symmetry-aware sifting off\n"
         "  --sift-max-growth F          abort a sift direction past F x best size\n"
         "  --sift-converge              repeat sift passes until <1%% gain\n"
         "  --sift-max-vars N            sift at most N variables per pass\n"
@@ -224,8 +234,9 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
         // engine activity).
         const decomp::EngineStats& e = result.engine_stats;
         if (e.total_steps() + e.literal_leaves > 0) {
-            std::printf("  engine steps: exact=%d maj=%d simple=%d gen-xor=%d "
+            std::printf("  engine steps: sym=%d exact=%d maj=%d simple=%d gen-xor=%d "
                         "shannon=%d (total %d, literals %d)\n",
+                        e.steps_for(decomp::StrategyKind::kSymmetric),
                         e.steps_for(decomp::StrategyKind::kExactSmallCone),
                         e.steps_for(decomp::StrategyKind::kMajority),
                         e.steps_for(decomp::StrategyKind::kSimpleDominator),
@@ -250,6 +261,13 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
                             "peak-bdd-nodes=%lld\n",
                             e.sift_swaps, e.sift_fast_swaps, e.sift_lb_aborts,
                             e.peak_bdd_nodes);
+            }
+            if (e.sift_sym_groups + e.sift_block_swaps + e.symmetric_steps +
+                    e.sym_cone_total > 0) {
+                std::printf("  symmetry: sift-groups=%lld block-swaps=%lld "
+                            "cones-found=%lld cones-served=%d\n",
+                            e.sift_sym_groups, e.sift_block_swaps,
+                            e.sym_cone_total, e.symmetric_steps);
             }
             if (e.cone_cache_hits + e.cone_cache_misses > 0) {
                 std::printf("  cone cache: hits=%lld misses=%lld evictions=%lld "
@@ -360,6 +378,7 @@ int run_batch(const Options& opt) {
     jp.flow = opt.flow;
     jp.preset = opt.preset;
     jp.manager = opt.manager;
+    jp.sift_symmetry = opt.sift_symmetry;
     jp.exact_max_support = opt.exact_max_support;
     jp.exact_sat_budget = opt.exact_sat_budget;
     jp.exact_sat_max_steps = opt.exact_sat_max_steps;
@@ -439,6 +458,10 @@ int main(int argc, char** argv) {
         } else if (arg == "--no-reorder") {
             opt.reorder = false;
             opt.tuned = true;
+        } else if (arg == "--sift-symmetry") {
+            opt.sift_symmetry = 1;
+        } else if (arg == "--no-sift-symmetry") {
+            opt.sift_symmetry = 0;
         } else if (arg == "--sift-max-growth") {
             const char* v = next();
             if (v == nullptr) return usage();
@@ -573,6 +596,7 @@ int main(int argc, char** argv) {
             params.engine.exact_sat_max_steps = opt.exact_sat_max_steps;
         }
         params.manager = opt.manager;
+        params.sift_symmetry = opt.sift_symmetry;
         params.reorder = opt.reorder;
         params.cone_cache = opt.cone_cache;
         params.jobs = opt.jobs;

@@ -11,7 +11,11 @@
 # a cached run's bytes drift from the cache-off run, if the C6288 hit rate
 # drops below its floor, or if the cold path regresses past the tolerance.
 # The exact-SAT suite fails on any verdict/gate-count/conflict drift and
-# on a fallback-rate increase. Documentation is gated too: docs/cli.md
+# on a fallback-rate increase. The symmetry section fails if block
+# sifting stops halving the swap count on the symmetric-heavy circuits,
+# finds no groups there, or changes post-sift sizes; the `paper` preset
+# fingerprint stays byte-identical with the feature compiled in (it is
+# off on the pinned path). Documentation is gated too: docs/cli.md
 # must byte-match what tools/gen_cli_docs.sh regenerates from the fresh
 # binary, and every advertised preset must appear in README.md.
 #
@@ -140,6 +144,36 @@ else:
         failures.append("reorder: <50% of attempted swaps skipped or pruned "
                         f"on the MCNC sweep "
                         f"({reorder['mcnc_skipped_or_pruned_fraction']:.1%})")
+    if "dalu_dynamic_sift" not in reorder:
+        failures.append("reorder: dalu dynamic-sifting entry missing — the "
+                        "re-admitted circuit dropped out of the sweep")
+
+# Symmetry-aware reordering: on the symmetric-heavy generator circuits
+# the with-symmetry sift must cut the swap count at least in half (in
+# practice one total group covers every variable and the count drops to
+# zero — sifting a single unit has nowhere to go), it must actually find
+# a group on every circuit, and both modes must land on the same
+# post-sift node count: symmetry changes how the order is searched, never
+# the size it reaches on totally symmetric functions. The `paper`
+# byte-identity gate below is the other half of the contract — symmetry
+# stays off on the pinned path.
+symmetry = fresh.get("symmetry")
+if symmetry is None:
+    failures.append("symmetry: section missing from fresh bench run")
+else:
+    for c in symmetry["circuits"]:
+        if c["symmetry_swaps"] * 2 > c["plain_swaps"]:
+            failures.append(f"symmetry: {c['name']} swap reduction below the "
+                            f"50% floor ({c['plain_swaps']} -> "
+                            f"{c['symmetry_swaps']})")
+        if c["groups"] < 1:
+            failures.append(f"symmetry: {c['name']} — no symmetry group "
+                            "detected on a totally symmetric circuit")
+        if c["post_sift_nodes_plain"] != c["post_sift_nodes_symmetry"]:
+            failures.append(f"symmetry: {c['name']} post-sift node counts "
+                            f"diverge between modes "
+                            f"({c['post_sift_nodes_plain']} vs "
+                            f"{c['post_sift_nodes_symmetry']})")
 
 # Thread-count determinism: the parallel pipeline must produce identical
 # outputs at jobs = 1/2/4. The harness compares the per-level fingerprints
