@@ -1035,6 +1035,122 @@ ExactSatBenchResult bench_exact_sat() {
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Resilience: deadline shedding, graceful degradation, resource guards.
+// Every check here is an exact invariant of the failure-containment layer
+// (no timing comparisons), so ci.sh gates the fresh section directly
+// without a committed reference.
+// ---------------------------------------------------------------------------
+
+struct ResilienceBenchResult {
+    double seconds = 0;
+    int shed_jobs = 0;
+    int shed_deadline_exceeded = 0;  ///< must equal shed_jobs exactly
+    int degraded_jobs = 0;
+    int degraded_completed = 0;
+    int degraded_verified = 0;
+    long long degraded_supernodes = 0;
+    long long guard_trips = 0;
+    bool guard_equivalent = false;
+    bool armed_but_idle_identical = false;
+};
+
+ResilienceBenchResult bench_resilience(bool smoke) {
+    std::vector<std::string> names = benchgen::benchmark_names();
+    names.resize(smoke ? 3 : 6);
+    ResilienceBenchResult out;
+    const auto start = Clock::now();
+
+    // 1) Shedding is exact: every job whose deadline expired while the
+    //    service was paused must be shed with kDeadlineExceeded before it
+    //    ever runs — no straggler may slip through the dispatcher.
+    {
+        flows::SynthesisService service(
+            flows::ServiceParams{.start_paused = true});
+        flows::SynthesisJobParams jp;
+        jp.flow = "bdsmaj";
+        jp.deadline_ms = 0.5;
+        std::vector<flows::SynthesisService::Submission> subs;
+        for (const std::string& name : names) {
+            subs.push_back(service.submit(
+                benchgen::benchmark_by_name(name, /*quick=*/true), jp));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        service.resume();
+        out.shed_jobs = static_cast<int>(subs.size());
+        for (flows::SynthesisService::Submission& sub : subs) {
+            const flows::FlowResult r = sub.result.get();
+            if (r.status == flows::JobStatus::kDeadlineExceeded &&
+                r.start_order == flows::FlowResult::kNoStartOrder) {
+                ++out.shed_deadline_exceeded;
+            }
+        }
+    }
+
+    // 2) Soft budget expired on arrival: every supernode degrades down the
+    //    default ladder, yet every job completes and passes its in-job
+    //    equivalence sign-off — degradation trades quality, never
+    //    correctness.
+    {
+        flows::SynthesisService service;
+        flows::SynthesisJobParams jp;
+        jp.flow = "bdsmaj";
+        jp.soft_budget_ms = 0.01;
+        jp.verify = true;
+        std::vector<flows::SynthesisService::Submission> subs;
+        for (const std::string& name : names) {
+            subs.push_back(service.submit(
+                benchgen::benchmark_by_name(name, /*quick=*/true), jp));
+        }
+        out.degraded_jobs = static_cast<int>(subs.size());
+        for (flows::SynthesisService::Submission& sub : subs) {
+            const flows::FlowResult r = sub.result.get();
+            if (r.status != flows::JobStatus::kCompleted) continue;
+            ++out.degraded_completed;
+            out.degraded_supernodes += r.degraded_supernodes;
+            const flows::SynthesisResult& sr = r.results.at(0).at(0);
+            if (sr.equivalence.has_value() && sr.equivalence->equivalent) {
+                ++out.degraded_verified;
+            }
+        }
+    }
+
+    // 3) Resource guard: an absurd live-node ceiling must trip per cone
+    //    (never kill the flow) and the ladder-retried output must stay
+    //    equivalent.
+    {
+        const net::Network input =
+            benchgen::benchmark_by_name("f51m", /*quick=*/true);
+        decomp::DecompFlowParams params;
+        params.manager.max_live_nodes = 24;
+        const decomp::DecompFlowResult r =
+            decomp::decompose_network(input, params);
+        out.guard_trips = r.engine_stats.resource_exhausted_cones;
+        out.guard_equivalent =
+            net::check_equivalent(input, r.network, net::CecParams{}).equivalent;
+    }
+
+    // 4) Fingerprint neutrality: arming the machinery without triggering
+    //    it (far-future soft budget, explicit ladder) must be invisible —
+    //    byte-identical BLIF to the default-parameter run.
+    {
+        const net::Network input =
+            benchgen::benchmark_by_name("f51m", /*quick=*/true);
+        decomp::DecompFlowParams plain;
+        decomp::DecompFlowParams armed;
+        armed.soft_budget = Clock::now() + std::chrono::hours(1);
+        armed.degrade_ladder = {"paper", "shannon"};
+        const std::string a =
+            net::write_blif(decomp::decompose_network(input, plain).network);
+        const std::string b =
+            net::write_blif(decomp::decompose_network(input, armed).network);
+        out.armed_but_idle_identical = a == b;
+    }
+
+    out.seconds = seconds_since(start);
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1180,6 +1296,16 @@ int main(int argc, char** argv) {
                 es.found, static_cast<int>(es.entries.size()),
                 100.0 * es.fallback_rate, es.conflicts, es.seconds);
 
+    std::printf("bench_core: resilience (shed / degrade / guard)...\n");
+    const ResilienceBenchResult rs = bench_resilience(smoke);
+    std::printf("  shed %d/%d, degraded jobs %d/%d verified (%lld supernodes), "
+                "guard trips %lld (%s), armed-idle %s, %.2f s\n",
+                rs.shed_deadline_exceeded, rs.shed_jobs, rs.degraded_verified,
+                rs.degraded_jobs, rs.degraded_supernodes, rs.guard_trips,
+                rs.guard_equivalent ? "equivalent" : "MISMATCH",
+                rs.armed_but_idle_identical ? "identical" : "DRIFTED",
+                rs.seconds);
+
     const bdd::CacheStats cs = [] {
         bdd::Manager mgr(10);
         std::mt19937_64 rng(7);
@@ -1196,7 +1322,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v10\",\n");
+    std::fprintf(f, "  \"schema\": \"bdsmaj-bench-core-v11\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     // Honesty marker: on a 1-hardware-thread container the scaling and
     // service sections can only demonstrate determinism, never speedup.
@@ -1435,6 +1561,22 @@ int main(int argc, char** argv) {
                      i + 1 < es.entries.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"resilience\": {\n");
+    std::fprintf(f, "    \"seconds\": %.4f,\n", rs.seconds);
+    std::fprintf(f, "    \"shed\": {\"jobs\": %d, \"deadline_exceeded\": %d},\n",
+                 rs.shed_jobs, rs.shed_deadline_exceeded);
+    std::fprintf(f,
+                 "    \"degraded\": {\"jobs\": %d, \"completed\": %d, "
+                 "\"verified\": %d, \"degraded_supernodes\": %lld},\n",
+                 rs.degraded_jobs, rs.degraded_completed, rs.degraded_verified,
+                 rs.degraded_supernodes);
+    std::fprintf(f,
+                 "    \"guard\": {\"resource_exhausted_cones\": %lld, "
+                 "\"equivalent\": %s},\n",
+                 rs.guard_trips, rs.guard_equivalent ? "true" : "false");
+    std::fprintf(f, "    \"armed_but_idle_identical\": %s\n",
+                 rs.armed_but_idle_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"cache\": {\n");
     std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(cs.hits));

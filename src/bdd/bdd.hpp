@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,18 @@ private:
     Edge edge_ = kEdgeInvalid;
 };
 
+/// Recoverable resource-guard violation: a manager hit its configured
+/// node-allocation or sift-swap ceiling (ManagerParams::max_live_nodes /
+/// sift_max_swaps). The throwing manager is poisoned — internal state may
+/// be mid-operation — and must be destroyed, not reused; ManagerPool does
+/// this automatically on lease release. Decomposition callers catch it per
+/// supernode and retry the cone on a cheaper parameter ladder, so a
+/// blow-up costs one cone, not one job.
+class ResourceExhausted : public std::runtime_error {
+public:
+    explicit ResourceExhausted(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Tuning knobs for the manager.
 struct ManagerParams {
     std::size_t cache_size_log2 = 10;   ///< initial computed-table entries = 2^k
@@ -117,6 +130,15 @@ struct ManagerParams {
     /// block. Off by default: the `paper` preset is fingerprinted on the
     /// classical per-variable schedule.
     bool sift_symmetry = false;
+    /// Ceiling on allocated internal nodes (live + dead-but-tabled). A
+    /// make_node that would allocate past it throws ResourceExhausted and
+    /// poisons the manager. 0 = unlimited (the default — the guard path
+    /// costs one predictable branch per fresh allocation).
+    std::size_t max_live_nodes = 0;
+    /// Ceiling on adjacent-level swaps (structural + label-only) a single
+    /// sift() call may spend; exceeding it throws ResourceExhausted
+    /// mid-reorder and poisons the manager. 0 = unlimited.
+    std::uint64_t sift_max_swaps = 0;
 };
 
 /// Reordering telemetry (monotonic over the manager's lifetime).
@@ -317,6 +339,12 @@ public:
     [[nodiscard]] std::vector<std::vector<int>> compute_symmetry_groups();
     [[nodiscard]] std::size_t live_node_count() const noexcept { return live_nodes_; }
     [[nodiscard]] std::size_t peak_node_count() const noexcept { return peak_nodes_; }
+    /// True after a resource guard or injected fault threw out of an
+    /// internal operation: handles stay destructible (dec_ref is
+    /// index-safe), but tables may be mid-restructure, so the manager must
+    /// not run further operations, be reset(), or be pooled — destroy it.
+    /// ManagerPool::release honors this automatically.
+    [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
     /// Computed-table hit/miss/insert/collision counters.
     [[nodiscard]] const CacheStats& cache_stats() const noexcept { return cache_stats_; }
     /// Reordering swap/skip/abort counters.
@@ -483,6 +511,14 @@ private:
     std::size_t dead_nodes_ = 0;   // internal nodes with ref == 0, still tabled
     std::size_t peak_nodes_ = 0;
     int op_depth_ = 0;  // >0 while a recursive core is running (blocks GC)
+    bool poisoned_ = false;  // a guard/fault threw mid-operation; see poisoned()
+    /// reorder_stats_ swap total at the current sift()'s entry; the
+    /// sift_max_swaps ceiling is per-sift, not lifetime.
+    std::uint64_t sift_swap_mark_ = 0;
+    /// Throws ResourceExhausted (and poisons) when the current sift() has
+    /// spent more than params_.sift_max_swaps swaps. Called at the
+    /// unit-swap entry points, where no temporary handles are held.
+    void check_sift_budget();
 
     // Interaction matrix (see recompute_interactions). interact_valid_
     // means the matrix is current; make_node keeps it current while set

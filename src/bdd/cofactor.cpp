@@ -160,12 +160,14 @@ Bdd Manager::replace_node_with_const(const Bdd& f, NodeIndex v, bool value) {
         // managers (the parallel supernode pipeline: one manager per
         // worker task) never share it. Within one thread the scratch is
         // safe across managers of different sizes because every touched
-        // entry is reset to kEdgeInvalid before this function returns and
-        // no Edge stored here outlives the call — the `resize` below only
-        // ever grows with fresh kEdgeInvalid entries. What would NOT be
-        // safe is re-entrancy (two replace calls live on one thread's
-        // stack); replace_rec never calls back into public Manager ops,
-        // so that cannot happen.
+        // entry is reset to kEdgeInvalid before this function exits —
+        // including by exception: make_node can throw (max_live_nodes
+        // guard, injected fault), and a stale memo entry surviving into
+        // the next manager's call would be returned as a wild edge. The
+        // `resize` below only ever grows with fresh kEdgeInvalid entries.
+        // What would NOT be safe is re-entrancy (two replace calls live
+        // on one thread's stack); replace_rec never calls back into
+        // public Manager ops, so that cannot happen.
         static thread_local std::vector<Edge> memo_reg, memo_comp;
         static thread_local std::vector<NodeIndex> touched;
         if (memo_reg.size() < nodes_.size()) {
@@ -173,19 +175,27 @@ Bdd Manager::replace_node_with_const(const Bdd& f, NodeIndex v, bool value) {
             memo_comp.resize(nodes_.size(), kEdgeInvalid);
         }
         touched.clear();
+        struct MemoReset {
+            std::vector<Edge>& memo_reg;
+            std::vector<Edge>& memo_comp;
+            const std::vector<NodeIndex>& touched;
+            NodeIndex root;
+            ~MemoReset() {
+                for (const NodeIndex idx : touched) {
+                    memo_reg[idx] = kEdgeInvalid;
+                    memo_comp[idx] = kEdgeInvalid;
+                }
+                // The root itself may be memoized without appearing in
+                // `touched` when it was reached only once; clear
+                // defensively.
+                if (root != kTerminalIndex) {
+                    memo_reg[root] = kEdgeInvalid;
+                    memo_comp[root] = kEdgeInvalid;
+                }
+            }
+        } memo_reset{memo_reg, memo_comp, touched, edge_index(f.edge())};
         r = replace_rec(f.edge(), v, value ? kEdgeOne : kEdgeZero, memo_reg,
                         memo_comp, touched);
-        for (const NodeIndex idx : touched) {
-            memo_reg[idx] = kEdgeInvalid;
-            memo_comp[idx] = kEdgeInvalid;
-        }
-        // The root itself may be memoized without appearing in `touched`
-        // when it was reached only once; clear defensively.
-        const NodeIndex root = edge_index(f.edge());
-        if (root != kTerminalIndex && root != v) {
-            memo_reg[root] = kEdgeInvalid;
-            memo_comp[root] = kEdgeInvalid;
-        }
     }
     Bdd out = from_edge(r);
     auto_gc_if_needed();

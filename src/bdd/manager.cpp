@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "runtime/fault_inject.hpp"
+
 namespace bdsmaj::bdd {
 
 // ---------------------------------------------------------------------------
@@ -284,6 +286,24 @@ Edge Manager::make_node(std::uint32_t level, Edge hi, Edge lo) {
             return make_edge(idx, complement_out);
         }
     }
+    // Resource guard: refuse to allocate past the configured ceiling. The
+    // throw leaves this call without side effects, but callers may be deep
+    // inside a recursive core holding temporaries, so the manager is
+    // poisoned — only handle destruction is allowed afterwards.
+    if (params_.max_live_nodes != 0 &&
+        live_nodes_ + dead_nodes_ >= params_.max_live_nodes) {
+        poisoned_ = true;
+        throw ResourceExhausted("bdd::Manager: max_live_nodes ceiling (" +
+                                std::to_string(params_.max_live_nodes) + ") reached");
+    }
+#if defined(BDSMAJ_FAULT_INJECT)
+    try {
+        runtime::fault_point(runtime::FaultSite::kManagerAlloc);
+    } catch (...) {
+        poisoned_ = true;
+        throw;
+    }
+#endif
     const std::uint32_t idx = alloc_slot();
     Node& n = nodes_[idx];
     n.level = level;

@@ -25,6 +25,10 @@ ManagerPool::Lease ManagerPool::acquire(int num_vars, const ManagerParams& param
 }
 
 void ManagerPool::release(std::unique_ptr<Manager> mgr) {
+    // A guard or injected fault threw out of an operation: internal tables
+    // may be mid-restructure and reset() would trip its invariants. Destroy
+    // instead of pooling — correctness over reuse.
+    if (mgr->poisoned()) return;
     std::lock_guard<std::mutex> lock(mutex_);
     if (idle_.size() < max_idle_) idle_.push_back(std::move(mgr));
     // else: unique_ptr destroys it — the pool is a cap, not a leak.

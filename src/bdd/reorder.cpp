@@ -412,7 +412,21 @@ int Manager::unit_span_up(int level) const {
     return span;
 }
 
+void Manager::check_sift_budget() {
+    if (params_.sift_max_swaps == 0) return;
+    const std::uint64_t spent =
+        reorder_stats_.swaps + reorder_stats_.fast_swaps - sift_swap_mark_;
+    if (spent <= params_.sift_max_swaps) return;
+    // Between unit swaps the store is structurally consistent and no
+    // temporary handles are held, but the sift is abandoned mid-schedule:
+    // poison so the half-reordered manager is destroyed, not pooled.
+    poisoned_ = true;
+    throw ResourceExhausted("bdd::Manager: sift_max_swaps ceiling (" +
+                            std::to_string(params_.sift_max_swaps) + ") reached");
+}
+
 int Manager::swap_unit_down(int top, int k) {
+    check_sift_budget();
     const int m = unit_span_down(top + k);
     // The whole m-level neighbor unit rises through the block: its j-th
     // member starts at top + k + j and bubbles up to top + j (k adjacent
@@ -427,6 +441,7 @@ int Manager::swap_unit_down(int top, int k) {
 }
 
 int Manager::swap_unit_up(int top, int k) {
+    check_sift_budget();
     const int m = unit_span_up(top - 1);
     // Mirror image: the neighbor's j-th member counted from its bottom
     // starts at top - 1 - j and descends to top + k - 1 - j.
@@ -626,6 +641,7 @@ void Manager::sift() {
     // table until sifting finishes, so intermediate collections only sweep;
     // a single conditional cache clear at the end handles freed slots and
     // order-dependent entries in one pass.
+    sift_swap_mark_ = reorder_stats_.swaps + reorder_stats_.fast_swaps;
     sweep_dead();
     InteractionTrustGuard trust(interact_trusted_);
     sift_pass();

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "network/sop.hpp"
+#include "runtime/fault_inject.hpp"
 
 namespace bdsmaj::decomp {
 
@@ -60,7 +61,7 @@ std::string cone_cache_config_blob(const EngineParams& engine,
                                    const bdd::ManagerParams& manager, bool reorder) {
     std::string out;
     out.reserve(128 + engine.preset.size());
-    append_raw(out, std::uint8_t{3});  // blob layout version
+    append_raw(out, std::uint8_t{4});  // blob layout version
     append_str(out, engine.preset);
     append_raw(out, static_cast<std::uint8_t>(engine.use_majority));
     append_raw(out, engine.max_simple_candidates);
@@ -93,6 +94,11 @@ std::string cone_cache_config_blob(const EngineParams& engine,
     append_raw(out, engine.symmetric_max_support);
     append_raw(out, engine.symmetric_min_saving);
     append_raw(out, static_cast<std::uint8_t>(reorder));
+    // Resource guards change which cones even finish (a guarded run must
+    // never hit a tape an unguarded run produced, or cold and warm guarded
+    // runs would diverge), so they are part of the key.
+    append_raw(out, manager.max_live_nodes);
+    append_raw(out, manager.sift_max_swaps);
     return out;
 }
 
@@ -337,6 +343,10 @@ std::shared_ptr<const ConeCacheValue> ConeCache::lookup(const ConeKey& key) {
 
 void ConeCache::insert(const ConeKey& key, std::shared_ptr<const net::GateTape> tape,
                        const EngineStats& stats) {
+    // Chaos site: a throw here unwinds before any shard state is touched,
+    // so the cache is never left torn — the job fails, the cache stays
+    // consistent for every other job.
+    runtime::fault_point(runtime::FaultSite::kConeCacheInsert);
     auto value = std::make_shared<ConeCacheValue>();
     value->tape = std::move(tape);
     value->stats = stats;

@@ -47,6 +47,8 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
     peak_bdd_nodes = std::max(peak_bdd_nodes, o.peak_bdd_nodes);
     sift_sym_groups += o.sift_sym_groups;
     sift_block_swaps += o.sift_block_swaps;
+    degraded_supernodes += o.degraded_supernodes;
+    resource_exhausted_cones += o.resource_exhausted_cones;
     return *this;
 }
 

@@ -145,6 +145,14 @@ struct EngineStats {
     long long peak_bdd_nodes = 0;   ///< max peak node count over the managers
     long long sift_sym_groups = 0;  ///< symmetry groups detected during sifting
     long long sift_block_swaps = 0; ///< multi-level block moves during sifting
+    // Graceful-degradation telemetry (filled by the flow layer): supernodes
+    // whose tape was produced by a degrade-ladder stage instead of the
+    // requested parameters — because the soft budget expired or a resource
+    // guard threw ResourceExhausted mid-cone. Timing-dependent under a soft
+    // budget, so outside the determinism fingerprints; zero whenever no
+    // deadline/budget/guard is configured.
+    long long degraded_supernodes = 0;
+    long long resource_exhausted_cones = 0;  ///< cones retried after a guard trip
 
     EngineStats& operator+=(const EngineStats& o);
 

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "runtime/fault_inject.hpp"
+
 namespace bdsmaj::decomp {
 
 namespace {
@@ -584,6 +586,10 @@ int ExactSynthesisCache::save_to_file(const std::string& path) const {
             return -1;
         }
     }
+    // Chaos site: a crash "between write and rename" — the throw leaves the
+    // complete tmp file behind and the destination untouched, which is
+    // exactly the torn-save window the loader must shrug off.
+    runtime::fault_point(runtime::FaultSite::kExactCacheIo);
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return -1;
@@ -592,6 +598,8 @@ int ExactSynthesisCache::save_to_file(const std::string& path) const {
 }
 
 int ExactSynthesisCache::load_from_file(const std::string& path) {
+    // Chaos site: an IO fault at load time must cost the warm start only.
+    runtime::fault_point(runtime::FaultSite::kExactCacheIo);
     std::string data;
     {
         std::ifstream in(path, std::ios::binary);

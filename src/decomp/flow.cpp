@@ -154,6 +154,35 @@ struct WorkerState {
     ConeKeyBuilder keys;
 };
 
+/// One rung of the degrade ladder: a full parameter set plus its own
+/// cone-cache config blob (tapes depend on every knob, so a degraded cone
+/// must never share cache entries with a full-effort one).
+struct DegradeStage {
+    DecompFlowParams params;
+    std::string config;
+};
+
+/// Derive a cheaper stage from the requested parameters: the stage's
+/// preset, exact tiers disabled, sift effort clamped. The terminal stage
+/// additionally turns reordering and the resource guards off, so plain
+/// Shannon expansion — linear in the cone's BDD — always terminates.
+DecompFlowParams degraded_stage_params(const DecompFlowParams& base,
+                                       const std::string& preset, bool terminal) {
+    DecompFlowParams p = base;
+    p.engine.preset = preset;
+    p.engine.exact_sat_budget = 0;
+    p.engine.exact_max_support = std::min(p.engine.exact_max_support, 4);
+    p.manager.sift_converge = false;
+    p.manager.sift_max_growth = std::min(p.manager.sift_max_growth, 1.1);
+    p.manager.sift_symmetry = false;
+    if (terminal) {
+        p.reorder = false;
+        p.manager.max_live_nodes = 0;
+        p.manager.sift_max_swaps = 0;
+    }
+    return p;
+}
+
 /// Decompose one supernode into a finished (shared, immutable) tape —
 /// through the cone cache when enabled. On a hit the cached tape and the
 /// cached cold-run stats are returned (with cone_cache_hits = 1); on a
@@ -223,6 +252,15 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
         return params.cancel != nullptr &&
                params.cancel->load(std::memory_order_relaxed);
     };
+    // Per-supernode checkpoint: cancellation, then the hard deadline. With
+    // no deadline configured this costs one branch — no clock read.
+    const auto checkpoint = [&] {
+        if (cancelled()) throw FlowCancelled();
+        if (params.deadline &&
+            std::chrono::steady_clock::now() >= *params.deadline) {
+            throw DeadlineExceeded();
+        }
+    };
 
     // One config blob per flow: the canonical-key prefix capturing every
     // knob the emitted tapes depend on.
@@ -233,16 +271,87 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
     const long long cone_evictions_before =
         params.cone_cache ? ConeCache::instance().stats().evictions : 0;
 
+    // Graceful degradation: stages are built only when something can
+    // trigger them (a soft budget or a resource guard), so the default
+    // configuration never touches any of this. degrade_floor is the
+    // flow-wide stage every new cone starts at — 0 = full effort; it
+    // ratchets to 1 when the soft budget expires. A cone whose stage trips
+    // a ResourceExhausted escalates privately past the floor.
+    const bool degradable = params.soft_budget.has_value() ||
+                            params.manager.max_live_nodes != 0 ||
+                            params.manager.sift_max_swaps != 0;
+    std::vector<DegradeStage> stages;
+    if (degradable) {
+        std::vector<std::string> ladder = params.degrade_ladder;
+        if (ladder.empty()) ladder.push_back("paper");
+        if (ladder.back() != "shannon") ladder.push_back("shannon");
+        stages.reserve(ladder.size());
+        for (std::size_t s = 0; s < ladder.size(); ++s) {
+            DegradeStage stage;
+            stage.params = degraded_stage_params(params, ladder[s],
+                                                 /*terminal=*/s + 1 == ladder.size());
+            // Validates the preset name too (throws on an unknown one
+            // before any supernode runs).
+            preset_pipeline(ladder[s]);
+            stage.config = stage.params.cone_cache
+                               ? cone_cache_config_blob(stage.params.engine,
+                                                        stage.params.manager,
+                                                        stage.params.reorder)
+                               : std::string{};
+            stages.push_back(std::move(stage));
+        }
+    }
+    std::atomic<int> degrade_floor{0};
+    const auto degrade_level = [&]() -> int {
+        if (!degradable) return 0;
+        int level = degrade_floor.load(std::memory_order_relaxed);
+        if (level == 0 && params.soft_budget &&
+            std::chrono::steady_clock::now() >= *params.soft_budget) {
+            degrade_floor.store(1, std::memory_order_relaxed);
+            level = 1;
+        }
+        return level;
+    };
+    // produce_tape plus the ladder: start at the flow-wide floor, escalate
+    // on ResourceExhausted. InjectedFault and everything else propagate —
+    // the ladder absorbs resource-guard trips only.
+    const auto produce_staged = [&](const Supernode& sn, WorkerState& ws,
+                                    EngineStats& stats)
+            -> std::shared_ptr<const net::GateTape> {
+        int level = degrade_level();
+        long long guard_trips = 0;
+        for (;;) {
+            const DecompFlowParams& sp =
+                level == 0 ? params : stages[static_cast<std::size_t>(level - 1)].params;
+            const std::string& cfg =
+                level == 0 ? cone_config
+                           : stages[static_cast<std::size_t>(level - 1)].config;
+            try {
+                std::shared_ptr<const net::GateTape> tape =
+                    produce_tape(input, sn, sp, cfg, ws, stats);
+                // After produce_tape: it overwrites `stats` wholesale (and
+                // cached entries must stay degrade-agnostic).
+                if (level > 0) ++stats.degraded_supernodes;
+                stats.resource_exhausted_cones += guard_trips;
+                return tape;
+            } catch (const ResourceExhausted&) {
+                if (level >= static_cast<int>(stages.size())) throw;
+                ++level;
+                ++guard_trips;
+            }
+        }
+    };
+
     if (workers <= 1) {
         // Serial: decompose and replay one supernode at a time, so only
         // one tape is ever live (the batch path below would hold the gate
         // IR of the whole network at once for no parallelism in return).
         WorkerState ws;
         for (const Supernode& sn : supernodes) {
-            if (cancelled()) throw FlowCancelled();
+            checkpoint();
             EngineStats stats;
             const std::shared_ptr<const net::GateTape> tape =
-                produce_tape(input, sn, params, cone_config, ws, stats);
+                produce_staged(sn, ws, stats);
             replay_tape(sn, *tape);
             result.engine_stats += stats;
         }
@@ -275,13 +384,14 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
 
         const auto decompose_one = [&](std::size_t i, int slot) {
             try {
-                // Per-supernode cancellation checkpoint: stop before
-                // starting another cone; the shared error slot aborts the
-                // rest of the pipeline exactly like a failure would.
-                if (cancelled()) throw FlowCancelled();
-                tapes[i] = produce_tape(input, supernodes[i], params, cone_config,
-                                        worker_state[static_cast<std::size_t>(slot)],
-                                        stats_of[i]);
+                // Per-supernode cancellation/deadline checkpoint: stop
+                // before starting another cone; the shared error slot
+                // aborts the rest of the pipeline exactly like a failure
+                // would.
+                checkpoint();
+                tapes[i] = produce_staged(supernodes[i],
+                                          worker_state[static_cast<std::size_t>(slot)],
+                                          stats_of[i]);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(m);
                 if (!err) err = std::current_exception();
@@ -322,6 +432,12 @@ DecompFlowResult decompose_network(const Network& input, const DecompFlowParams&
             while (replayed < n && err == nullptr) {
                 if (cancelled()) {
                     err = std::make_exception_ptr(FlowCancelled());
+                    space_cv.notify_all();
+                    break;
+                }
+                if (params.deadline &&
+                    std::chrono::steady_clock::now() >= *params.deadline) {
+                    err = std::make_exception_ptr(DeadlineExceeded());
                     space_cv.notify_all();
                     break;
                 }

@@ -18,9 +18,11 @@
 // docs/performance.md, "Parallel pipeline").
 
 #include <atomic>
+#include <chrono>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "decomp/engine.hpp"
 #include "decomp/partition.hpp"
@@ -35,6 +37,21 @@ class FlowCancelled : public std::runtime_error {
 public:
     FlowCancelled() : std::runtime_error("synthesis flow cancelled") {}
 };
+
+/// Thrown by decompose_network at a per-supernode checkpoint once
+/// DecompFlowParams::deadline has passed; the synthesis service maps it to
+/// JobStatus::kDeadlineExceeded (a terminal status, not a failure).
+class DeadlineExceeded : public std::runtime_error {
+public:
+    DeadlineExceeded() : std::runtime_error("synthesis deadline exceeded") {}
+};
+
+/// The recoverable resource-guard exception (see bdd::ManagerParams::
+/// max_live_nodes / sift_max_swaps). decompose_network catches it per
+/// supernode and retries the cone down the degrade ladder; it only
+/// escapes when even the terminal stage trips, which the terminal stage's
+/// lifted guards make impossible by construction.
+using ResourceExhausted = bdd::ResourceExhausted;
 
 struct DecompFlowParams {
     EngineParams engine;
@@ -81,6 +98,25 @@ struct DecompFlowParams {
     /// checkpoint — before decomposing or replaying another supernode —
     /// and throws FlowCancelled. Null = not cancellable.
     const std::atomic<bool>* cancel = nullptr;
+    /// Absolute hard deadline. Checked at the same per-supernode
+    /// checkpoints as `cancel`; once passed, decompose_network throws
+    /// DeadlineExceeded. Unset = no deadline (and no clock reads).
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Absolute soft budget. Once passed, remaining supernodes are
+    /// decomposed on the degrade ladder below instead of the requested
+    /// parameters — the flow finishes with a valid (equivalent, but
+    /// cheaper-effort) network rather than dying. Which supernodes land on
+    /// the ladder is timing-dependent; EngineStats::degraded_supernodes
+    /// counts them. Unset = no budget (and no clock reads).
+    std::optional<std::chrono::steady_clock::time_point> soft_budget;
+    /// Preset names tried in order for a degraded or guard-tripped
+    /// supernode (each stage also clamps sift effort and disables the
+    /// exact tiers). "shannon" — plain cofactor expansion with reordering
+    /// and resource guards off, which always terminates — is appended as
+    /// the terminal stage when missing. Empty = {"paper", "shannon"}.
+    /// Only consulted when a soft budget or a resource guard
+    /// (manager.max_live_nodes / manager.sift_max_swaps) is configured.
+    std::vector<std::string> degrade_ladder;
     /// Equivalence engine for the optional sign-off below (and for callers
     /// that verify externally and want one knob to thread through).
     net::EquivEngine oracle = net::EquivEngine::kAuto;

@@ -538,6 +538,9 @@ const std::vector<PresetInfo>& preset_catalog() {
          "totally symmetric cones served as ones-counting MAJ networks, "
          "then exact structures, then the paper ladder; symmetry-aware "
          "block sifting on"},
+        {"shannon",
+         "plain Shannon cofactor expansion only — the cheapest preset and "
+         "the terminal stage of the degrade ladder; always terminates"},
     };
     return catalog;
 }
@@ -578,6 +581,8 @@ StrategyPipelineConfig preset_pipeline(std::string_view name) {
     } else if (name == "symmetry") {
         config.order = {K::kSymmetric, K::kExactSmallCone, K::kMajority,
                         K::kSimpleDominator, K::kGeneralizedXor, K::kShannonMux};
+    } else if (name == "shannon") {
+        config.order = {K::kShannonMux};
     } else {
         std::string known;
         for (const PresetInfo& p : preset_catalog()) {

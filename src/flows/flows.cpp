@@ -60,6 +60,9 @@ SynthesisResult from_decomposition(std::string name, const net::Network& input,
     params.cone_cache = options.cone_cache;
     params.jobs = options.jobs;
     params.cancel = options.cancel;
+    params.deadline = options.deadline;
+    params.soft_budget = options.soft_budget;
+    params.degrade_ladder = options.degrade_ladder;
     decomp::DecompFlowResult d = decomp::decompose_network(input, params);
     SynthesisResult result;
     // Non-default presets surface in the flow name so multi-preset sweeps
@@ -128,12 +131,16 @@ std::string decorated_flow_name(std::string base, const std::string& preset) {
 std::vector<SynthesisResult> run_all_flows(const net::Network& input,
                                            const FlowOptions& options) {
     // The BDS flows checkpoint internally (between supernodes); the ABC
-    // and DC passes are not interruptible, so check the token at every
-    // flow boundary to keep "all"-flow jobs responsive to cancel().
+    // and DC passes are not interruptible, so check the token — and the
+    // hard deadline — at every flow boundary to keep "all"-flow jobs
+    // responsive to cancel() and shed-on-deadline.
     const auto checkpoint = [&options] {
         if (options.cancel != nullptr &&
             options.cancel->load(std::memory_order_relaxed)) {
             throw decomp::FlowCancelled();
+        }
+        if (options.deadline && Clock::now() >= *options.deadline) {
+            throw decomp::DeadlineExceeded();
         }
     };
     std::vector<SynthesisResult> out;

@@ -10,8 +10,10 @@
 //               area effort (see DESIGN.md §4 for the substitution rationale)
 
 #include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "decomp/flow.hpp"
 #include "mapping/mapper.hpp"
@@ -57,6 +59,19 @@ struct FlowOptions {
     /// the BDS decomposition (decomp::FlowCancelled propagates out) and
     /// between circuits in run_suite. Null = not cancellable.
     const std::atomic<bool>* cancel = nullptr;
+    /// Absolute hard deadline (DecompFlowParams::deadline semantics):
+    /// checked at the per-supernode checkpoints of the BDS flows and at
+    /// every flow boundary in run_all_flows; once passed,
+    /// decomp::DeadlineExceeded propagates out. The ABC/DC passes
+    /// themselves are not interruptible. Unset = no deadline.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Absolute soft budget (DecompFlowParams::soft_budget): once passed,
+    /// the BDS flows degrade remaining supernodes down `degrade_ladder`
+    /// instead of failing; EngineStats::degraded_supernodes counts them.
+    std::optional<std::chrono::steady_clock::time_point> soft_budget;
+    /// Degrade-ladder preset names (DecompFlowParams::degrade_ladder);
+    /// empty = {"paper", "shannon"}.
+    std::vector<std::string> degrade_ladder;
     /// Equivalence engine for the sign-off below.
     net::EquivEngine oracle = net::EquivEngine::kAuto;
     /// Verify each flow's optimized network AND mapped netlist against the

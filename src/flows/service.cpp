@@ -8,6 +8,7 @@
 
 #include "decomp/cone_cache.hpp"
 #include "decomp/exact.hpp"
+#include "runtime/fault_inject.hpp"
 
 namespace bdsmaj::flows {
 
@@ -56,7 +57,22 @@ struct SynthesisService::Job {
     /// already copied the pointer.
     std::atomic<bool> cancel_requested{false};
     std::uint64_t start_order = FlowResult::kNoStartOrder;
+    /// Absolute deadline/soft-budget instants, fixed at submission (queue
+    /// wait counts against both). has_* false = not configured.
+    bool has_deadline = false;
+    bool has_soft_budget = false;
+    Clock::time_point deadline{};
+    Clock::time_point soft_budget{};
 };
+
+/// The FlowResult of a job that never ran (cancelled while queued, or shed
+/// because its deadline passed before dispatch).
+static FlowResult unstarted_result(std::uint64_t id, JobStatus status) {
+    FlowResult out;
+    out.job_id = id;
+    out.status = status;
+    return out;
+}
 
 SynthesisService::SynthesisService(const ServiceParams& params)
     : pool_(params.pool != nullptr ? *params.pool : runtime::global_pool()),
@@ -72,8 +88,7 @@ SynthesisService::~SynthesisService() {
     for (std::deque<std::shared_ptr<Job>>* lane : {&queue_high_, &queue_}) {
         for (const std::shared_ptr<Job>& job : *lane) {
             ++cancelled_;
-            job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {}, 0.0,
-                                              FlowResult::kNoStartOrder});
+            job->promise.set_value(unstarted_result(job->id, JobStatus::kCancelled));
         }
         lane->clear();
     }
@@ -88,6 +103,24 @@ SynthesisService::Submission SynthesisService::enqueue(
     auto job = std::make_shared<Job>();
     job->inputs = std::move(inputs);
     job->params = params;
+    // Deadline and soft budget become absolute here: time spent queued is
+    // the admission controller's to spend, so it counts. One clock read,
+    // only when either knob is set.
+    if (params.deadline_ms > 0.0 || params.soft_budget_ms > 0.0) {
+        const Clock::time_point now = Clock::now();
+        if (params.deadline_ms > 0.0) {
+            job->has_deadline = true;
+            job->deadline =
+                now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(params.deadline_ms));
+        }
+        if (params.soft_budget_ms > 0.0) {
+            job->has_soft_budget = true;
+            job->soft_budget = now + std::chrono::duration_cast<Clock::duration>(
+                                         std::chrono::duration<double, std::milli>(
+                                             params.soft_budget_ms));
+        }
+    }
     Submission submission;
     submission.result = job->promise.get_future();
     std::lock_guard<std::mutex> lock(mutex_);
@@ -115,11 +148,33 @@ void SynthesisService::pump_locked() {
     while (!paused_ && running_ < max_concurrent_ &&
            (!queue_high_.empty() || !queue_.empty())) {
         // The high lane drains completely before the normal lane is
-        // considered; each lane is FIFO on its own.
+        // considered. Within a lane: earliest-deadline-first over the jobs
+        // that have deadlines, then FIFO over the deadline-less ones —
+        // plain FIFO (and zero clock reads) when no queued job carries a
+        // deadline, which keeps the default path byte-identical.
         std::deque<std::shared_ptr<Job>>& lane =
             queue_high_.empty() ? queue_ : queue_high_;
-        std::shared_ptr<Job> job = lane.front();
-        lane.pop_front();
+        std::size_t pick = 0;
+        bool pick_has_deadline = lane[0]->has_deadline;
+        for (std::size_t i = 1; i < lane.size(); ++i) {
+            if (!lane[i]->has_deadline) continue;
+            if (!pick_has_deadline || lane[i]->deadline < lane[pick]->deadline) {
+                pick = i;
+                pick_has_deadline = true;
+            }
+        }
+        std::shared_ptr<Job> job = lane[pick];
+        lane.erase(lane.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (pick_has_deadline && Clock::now() >= job->deadline) {
+            // Admission-time shedding: the job cannot start before its
+            // deadline, so it never runs — terminal status, no start
+            // order, no pool task.
+            ++deadline_exceeded_;
+            idle_cv_.notify_all();  // the queue may just have drained
+            job->promise.set_value(
+                unstarted_result(job->id, JobStatus::kDeadlineExceeded));
+            continue;
+        }
         job->start_order = next_start_order_++;
         running_jobs_.emplace(job->id, job);
         ++running_;
@@ -140,6 +195,10 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
     double area = 0.0;
     long long sym_cones = 0;
     try {
+        // Chaos site: a fault here exercises the job-level containment —
+        // inside the try, so the promise is still fulfilled (kFailed path)
+        // and the service counters stay consistent.
+        runtime::fault_point(runtime::FaultSite::kWorkerTaskEntry);
         const FlowSel sel = parse_flow(job->params.flow);
         FlowOptions options;
         options.jobs = job->params.jobs;
@@ -153,6 +212,9 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
         options.cancel = &job->cancel_requested;
         options.oracle = job->params.oracle;
         options.verify = job->params.verify;
+        if (job->has_deadline) options.deadline = job->deadline;
+        if (job->has_soft_budget) options.soft_budget = job->soft_budget;
+        options.degrade_ladder = job->params.degrade_ladder;
         out.results.resize(job->inputs.size());
         if (job->inputs.size() <= 1) {
             // Single network: the whole budget goes to supernode-level
@@ -183,10 +245,15 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
                 gates += r.mapped.gate_count;
                 area += r.mapped.area_um2;
                 sym_cones += r.engine_stats.symmetric_steps;
+                out.degraded_supernodes += r.engine_stats.degraded_supernodes;
             }
         }
     } catch (const decomp::FlowCancelled&) {
         out.status = JobStatus::kCancelled;
+        out.results.clear();
+        out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    } catch (const decomp::DeadlineExceeded&) {
+        out.status = JobStatus::kDeadlineExceeded;
         out.results.clear();
         out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     } catch (...) {
@@ -202,12 +269,15 @@ void SynthesisService::execute(const std::shared_ptr<Job>& job) {
             ++failed_;
         } else if (out.status == JobStatus::kCancelled) {
             ++cancelled_;
+        } else if (out.status == JobStatus::kDeadlineExceeded) {
+            ++deadline_exceeded_;
         } else {
             ++completed_;
             networks_synthesized_ += networks;
             mapped_gates_ += gates;
             mapped_area_um2_ += area;
             symmetric_cones_served_ += sym_cones;
+            degraded_supernodes_ += out.degraded_supernodes;
         }
         pump_locked();
         --inflight_;
@@ -231,8 +301,7 @@ bool SynthesisService::cancel(JobId id) {
             lane->erase(it);
             ++cancelled_;
             idle_cv_.notify_all();  // the queue may just have drained
-            job->promise.set_value(FlowResult{job->id, JobStatus::kCancelled, {},
-                                              0.0, FlowResult::kNoStartOrder});
+            job->promise.set_value(unstarted_result(job->id, JobStatus::kCancelled));
             return true;
         }
     }
@@ -264,6 +333,13 @@ void SynthesisService::wait_idle() {
     });
 }
 
+bool SynthesisService::wait_idle_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return idle_cv_.wait_for(lock, timeout, [this] {
+        return queue_.empty() && queue_high_.empty() && inflight_ == 0;
+    });
+}
+
 ServiceStats SynthesisService::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     ServiceStats s;
@@ -273,6 +349,8 @@ ServiceStats SynthesisService::stats() const {
     s.completed = completed_;
     s.cancelled = cancelled_;
     s.failed = failed_;
+    s.deadline_exceeded = deadline_exceeded_;
+    s.degraded_supernodes = degraded_supernodes_;
     s.networks_synthesized = networks_synthesized_;
     s.mapped_gates = mapped_gates_;
     s.mapped_area_um2 = mapped_area_um2_;

@@ -33,6 +33,7 @@
 // cancellation of running jobs, and waits for them; the shared pool is
 // untouched and immediately reusable.
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -48,7 +49,18 @@
 
 namespace bdsmaj::flows {
 
-enum class JobStatus { kQueued, kRunning, kCompleted, kCancelled, kFailed };
+enum class JobStatus {
+    kQueued,
+    kRunning,
+    kCompleted,
+    kCancelled,
+    kFailed,
+    /// Terminal: the job missed its deadline — shed at dispatch time
+    /// (never ran; start_order is kNoStartOrder) or stopped at an in-flight
+    /// checkpoint once the deadline passed. Not a failure: the future
+    /// yields a FlowResult, not an exception.
+    kDeadlineExceeded,
+};
 
 /// Admission lane: kHigh jobs always dispatch before kNormal ones;
 /// within a lane admission stays FIFO.
@@ -84,6 +96,27 @@ struct SynthesisJobParams {
     /// cached tapes. Never changes results, only wall time.
     bool cone_cache = true;
     JobPriority priority = JobPriority::kNormal;
+    /// Relative hard deadline in milliseconds, measured from submission
+    /// (queue wait counts). Jobs whose deadline has already passed when
+    /// they would dispatch are shed without running; a running job stops
+    /// at its next flow checkpoint once the deadline passes. Either way
+    /// the future yields status kDeadlineExceeded. Within a priority
+    /// lane, jobs with deadlines dispatch earliest-deadline-first ahead
+    /// of deadline-less jobs (which stay FIFO among themselves).
+    /// <= 0 = no deadline.
+    double deadline_ms = 0.0;
+    /// Relative soft budget in milliseconds, measured from submission.
+    /// Once spent, the BDS flows degrade remaining supernodes down
+    /// `degrade_ladder` (cheaper presets, exact tiers off, sift clamped,
+    /// terminal plain-Shannon stage) instead of failing: the job still
+    /// completes with a valid, equivalent network, and
+    /// FlowResult::degraded_supernodes counts the cheapened cones.
+    /// <= 0 = no soft budget.
+    double soft_budget_ms = 0.0;
+    /// Degrade-ladder preset names (FlowOptions::degrade_ladder); empty =
+    /// {"paper", "shannon"}. Also engaged per cone by the resource guards
+    /// in `manager` (max_live_nodes / sift_max_swaps).
+    std::vector<std::string> degrade_ladder;
     /// Equivalence engine for the optional sign-off below.
     net::EquivEngine oracle = net::EquivEngine::kAuto;
     /// Verify every produced network (optimized + mapped, all requested
@@ -96,10 +129,16 @@ struct SynthesisJobParams {
 
 struct FlowResult {
     std::uint64_t job_id = 0;
-    JobStatus status = JobStatus::kCompleted;  ///< kCompleted or kCancelled
+    /// kCompleted, kCancelled, or kDeadlineExceeded (failures surface as
+    /// the future's exception instead).
+    JobStatus status = JobStatus::kCompleted;
     /// Per input, the requested flows in Table II column order ("all") or
-    /// the single requested flow. Empty for cancelled jobs.
+    /// the single requested flow. Empty for cancelled/shed jobs.
     std::vector<std::vector<SynthesisResult>> results;
+    /// Supernodes served by a degrade-ladder stage (soft budget expired or
+    /// a resource guard tripped), aggregated over `results`. 0 whenever no
+    /// budget/guard was configured.
+    long long degraded_supernodes = 0;
     double seconds = 0.0;  ///< wall time of the job body (not queue wait)
     /// 0-based dispatch sequence across the service lifetime: the order
     /// jobs actually started running (what the priority lanes decide).
@@ -116,6 +155,12 @@ struct ServiceStats {
     int completed = 0;
     int cancelled = 0;   ///< queued removals + cooperatively stopped runs
     int failed = 0;
+    /// Jobs shed at dispatch or stopped in flight because their deadline
+    /// passed (terminal status kDeadlineExceeded).
+    int deadline_exceeded = 0;
+    /// Supernodes served by a degrade-ladder stage across completed jobs
+    /// (FlowResult::degraded_supernodes aggregate).
+    long long degraded_supernodes = 0;
     long networks_synthesized = 0;  ///< flow results across completed jobs
     long mapped_gates = 0;          ///< aggregate over those results
     double mapped_area_um2 = 0.0;
@@ -182,9 +227,22 @@ public:
     void pause();
     void resume();
 
-    /// Block until no job is queued or running. With admission paused this
-    /// waits until someone resumes.
+    /// Block until no job is queued or running.
+    ///
+    /// Paused-wait contract: with admission paused and jobs still queued,
+    /// nothing will ever dispatch them, so this blocks until some other
+    /// thread calls resume() (or cancels every queued job). A paused,
+    /// non-empty service with no such thread makes wait_idle() wait
+    /// forever by design — use wait_idle_for() when that is a reachable
+    /// state.
     void wait_idle();
+
+    /// Bounded wait_idle(): returns true once no job is queued or running,
+    /// false if the timeout expires first. This is the chaos-suite (and
+    /// shutdown-watchdog) primitive: under fault injection or a paused
+    /// queue, "did the service drain within T" is a checkable property
+    /// where wait_idle() would hang.
+    [[nodiscard]] bool wait_idle_for(std::chrono::milliseconds timeout);
 
     [[nodiscard]] ServiceStats stats() const;
 
@@ -213,6 +271,8 @@ private:
     int completed_ = 0;
     int cancelled_ = 0;
     int failed_ = 0;
+    int deadline_exceeded_ = 0;
+    long long degraded_supernodes_ = 0;
     long networks_synthesized_ = 0;
     long mapped_gates_ = 0;
     double mapped_area_um2_ = 0.0;

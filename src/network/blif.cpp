@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace bdsmaj::net {
 
@@ -17,19 +18,30 @@ std::vector<std::string> tokenize(const std::string& line) {
     return tokens;
 }
 
+/// A logical line plus the 1-based number of its first physical line, so
+/// every diagnostic can point at the source even through continuations.
+struct LogicalLine {
+    std::string text;
+    int line = 0;
+};
+
 /// Logical lines: '\' continuations joined, comments ('#') stripped.
-std::vector<std::string> logical_lines(const std::string& text) {
-    std::vector<std::string> lines;
+std::vector<LogicalLine> logical_lines(const std::string& text) {
+    std::vector<LogicalLine> lines;
     std::string current;
+    int current_start = 0;
+    int physical = 0;
     std::istringstream is(text);
     std::string raw;
     while (std::getline(is, raw)) {
+        ++physical;
         if (const auto hash = raw.find('#'); hash != std::string::npos) {
             raw.erase(hash);
         }
         while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' || raw.back() == '\t')) {
             raw.pop_back();
         }
+        if (current.empty()) current_start = physical;
         if (!raw.empty() && raw.back() == '\\') {
             raw.pop_back();
             current += raw;
@@ -37,16 +49,23 @@ std::vector<std::string> logical_lines(const std::string& text) {
             continue;
         }
         current += raw;
-        if (!current.empty()) lines.push_back(current);
+        if (!current.empty()) lines.push_back({current, current_start});
         current.clear();
     }
-    if (!current.empty()) lines.push_back(current);
+    if (!current.empty()) {
+        // The file ended while a '\' continuation was still open — a
+        // truncated document. Refusing it beats silently parsing half a
+        // directive.
+        throw ParseError(current_start,
+                         "truncated file: '\\' continuation at end of input");
+    }
     return lines;
 }
 
 struct PendingNames {
     std::vector<std::string> signals;  // fanin names + output name last
     std::vector<std::pair<std::string, char>> cubes;  // pattern -> output value
+    int line = 0;  // the .names directive's source line
 };
 
 }  // namespace
@@ -54,56 +73,95 @@ struct PendingNames {
 Network parse_blif(const std::string& text) {
     Network network;
     std::unordered_map<std::string, NodeId> by_name;
+    std::unordered_set<std::string> driven;  // .names targets seen so far
     std::vector<PendingNames> pending;
     PendingNames* open_block = nullptr;
-    std::vector<std::string> output_names;
+    std::vector<std::pair<std::string, int>> output_names;  // name, line
+    std::unordered_set<std::string> declared_outputs;
     bool saw_model = false;
 
-    for (const std::string& line : logical_lines(text)) {
-        const std::vector<std::string> tokens = tokenize(line);
+    for (const LogicalLine& logical : logical_lines(text)) {
+        const std::vector<std::string> tokens = tokenize(logical.text);
         if (tokens.empty()) continue;
+        const int line = logical.line;
         const std::string& head = tokens.front();
         if (head[0] == '.') {
             open_block = nullptr;
             if (head == ".model") {
-                if (saw_model) throw std::runtime_error("blif: multiple .model");
+                if (saw_model) throw ParseError(line, "multiple .model directives");
                 saw_model = true;
                 if (tokens.size() > 1) network.set_model_name(tokens[1]);
             } else if (head == ".inputs") {
                 for (std::size_t i = 1; i < tokens.size(); ++i) {
+                    if (by_name.contains(tokens[i])) {
+                        throw ParseError(line, "duplicate input declaration '" +
+                                                   tokens[i] + "'");
+                    }
                     by_name[tokens[i]] = network.add_input(tokens[i]);
                 }
             } else if (head == ".outputs") {
-                output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+                for (std::size_t i = 1; i < tokens.size(); ++i) {
+                    if (!declared_outputs.insert(tokens[i]).second) {
+                        throw ParseError(line, "duplicate output declaration '" +
+                                                   tokens[i] + "'");
+                    }
+                    output_names.emplace_back(tokens[i], line);
+                }
             } else if (head == ".names") {
+                if (tokens.size() < 2) {
+                    throw ParseError(line, ".names without signals");
+                }
+                const std::string& target = tokens.back();
+                if (by_name.contains(target)) {
+                    throw ParseError(line, ".names redefines primary input '" +
+                                               target + "'");
+                }
+                if (!driven.insert(target).second) {
+                    throw ParseError(line, "duplicate driver for signal '" +
+                                               target + "'");
+                }
                 pending.emplace_back();
                 pending.back().signals.assign(tokens.begin() + 1, tokens.end());
-                if (pending.back().signals.empty()) {
-                    throw std::runtime_error("blif: .names without signals");
-                }
+                pending.back().line = line;
                 open_block = &pending.back();
             } else if (head == ".end") {
                 break;
             } else if (head == ".latch" || head == ".subckt" || head == ".gate" ||
                        head == ".mlatch") {
-                throw std::runtime_error("blif: sequential/hierarchical construct " +
-                                         head + " not supported");
+                throw ParseError(line, "sequential/hierarchical construct " +
+                                           head + " not supported");
             }
             // Other dot-directives (.default_input_arrival etc.) are ignored.
             continue;
         }
         if (open_block == nullptr) {
-            throw std::runtime_error("blif: cube line outside .names: " + line);
+            throw ParseError(line, "cube line outside .names: " + logical.text);
         }
         if (open_block->signals.size() == 1) {
             // Constant node: the line is just the output value.
             if (tokens.size() != 1 || (tokens[0] != "1" && tokens[0] != "0")) {
-                throw std::runtime_error("blif: bad constant line: " + line);
+                throw ParseError(line, "bad constant line: " + logical.text);
             }
             open_block->cubes.emplace_back("", tokens[0][0]);
         } else {
-            if (tokens.size() != 2 || tokens[1].size() != 1) {
-                throw std::runtime_error("blif: bad cube line: " + line);
+            if (tokens.size() != 2 || tokens[1].size() != 1 ||
+                (tokens[1][0] != '0' && tokens[1][0] != '1')) {
+                throw ParseError(line, "bad cube line: " + logical.text);
+            }
+            const std::size_t arity = open_block->signals.size() - 1;
+            if (tokens[0].size() != arity) {
+                throw ParseError(line, "cube '" + tokens[0] + "' has " +
+                                           std::to_string(tokens[0].size()) +
+                                           " literals for a " +
+                                           std::to_string(arity) +
+                                           "-input .names block");
+            }
+            for (const char c : tokens[0]) {
+                if (c != '0' && c != '1' && c != '-') {
+                    throw ParseError(line, "bad cube character '" +
+                                               std::string(1, c) +
+                                               "' in: " + logical.text);
+                }
             }
             open_block->cubes.emplace_back(tokens[0], tokens[1][0]);
         }
@@ -139,8 +197,8 @@ Network parse_blif(const std::string& text) {
             Sop cover(arity);
             for (const auto& [pattern, value] : block.cubes) {
                 if (value != phase) {
-                    throw std::runtime_error("blif: mixed-phase cover for " +
-                                             block.signals.back());
+                    throw ParseError(block.line, "mixed-phase cover for " +
+                                                     block.signals.back());
                 }
                 if (arity == 0) {
                     cover = Sop::constant(true, 0);
@@ -166,13 +224,35 @@ Network parse_blif(const std::string& text) {
         }
     }
     if (remaining > 0) {
-        throw std::runtime_error("blif: unresolved signal dependencies (cycle or typo)");
+        // Name the exact problem: a fanin that no .inputs/.names ever
+        // declares is a typo or a truncated file; if every missing fanin
+        // is itself a (stuck) .names target, the blocks form a cycle.
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (placed[i]) continue;
+            const PendingNames& block = pending[i];
+            for (std::size_t s = 0; s + 1 < block.signals.size(); ++s) {
+                if (!by_name.contains(block.signals[s]) &&
+                    !driven.contains(block.signals[s])) {
+                    throw ParseError(block.line, "undeclared signal '" +
+                                                     block.signals[s] +
+                                                     "' in .names block for '" +
+                                                     block.signals.back() + "'");
+                }
+            }
+        }
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (!placed[i]) {
+                throw ParseError(pending[i].line,
+                                 "combinational cycle through signal '" +
+                                     pending[i].signals.back() + "'");
+            }
+        }
     }
 
-    for (const std::string& name : output_names) {
+    for (const auto& [name, line] : output_names) {
         const auto it = by_name.find(name);
         if (it == by_name.end()) {
-            throw std::runtime_error("blif: undriven output " + name);
+            throw ParseError(line, "undriven output " + name);
         }
         network.add_output(name, it->second);
     }

@@ -3,14 +3,32 @@
 // .names/.end, with '\' line continuations). This is the interchange format
 // of the MCNC benchmark suite the paper evaluates on.
 
+#include <stdexcept>
 #include <string>
 
 #include "network/network.hpp"
 
 namespace bdsmaj::net {
 
+/// Malformed-BLIF diagnostic. Every parse failure — truncated file,
+/// undeclared signal, duplicate driver/input/output, cube arity mismatch,
+/// bad cube characters, unsupported constructs — raises this with the
+/// 1-based source line it was detected on (the first physical line of a
+/// '\'-continued logical line), never UB or an assert.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(int line, const std::string& message)
+        : std::runtime_error("blif line " + std::to_string(line) + ": " + message),
+          line_(line) {}
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    int line_;
+};
+
 /// Parse a BLIF document. Only combinational constructs are accepted;
-/// `.latch`, `.subckt` and `.gate` raise std::runtime_error.
+/// `.latch`, `.subckt` and `.gate` — and any malformed input — raise
+/// ParseError carrying the offending line number.
 [[nodiscard]] Network parse_blif(const std::string& text);
 
 /// Serialize to BLIF. Structured gates are emitted as equivalent `.names`

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/fault_inject.hpp"
+
 namespace bdsmaj::sat {
 
 namespace {
@@ -503,6 +505,9 @@ SolveResult Solver::search(std::int64_t conflict_budget) {
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions,
                           std::int64_t conflict_limit) {
+    // Chaos site: a fault deep inside a strategy's SAT call must surface
+    // as that job's failure, never as a wrong verdict.
+    runtime::fault_point(runtime::FaultSite::kSatSolve);
     conflict_.clear();
     if (!ok_) return SolveResult::kUnsat;
     assumptions_ = assumptions;

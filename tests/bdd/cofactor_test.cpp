@@ -181,6 +181,61 @@ TEST(ReplaceNode, RandomRedirectionsPreserveOffNodeBehaviour) {
     }
 }
 
+TEST(ReplaceNode, GuardThrowMidReplaceLeavesNoStaleThreadState) {
+    // Regression: replace_node_with_const memoizes into thread_local
+    // scratch and used to skip the touched-entry cleanup when make_node
+    // threw out of replace_rec (max_live_nodes guard, injected fault).
+    // The stale entries — edges into the poisoned, destroyed manager —
+    // were then served as memo hits to the next manager on the same
+    // thread: wild edges, wrong quotients, out-of-bounds ref updates.
+    std::mt19937_64 rng(977);
+    const TruthTable ft = TruthTable::random(8, rng);
+    const TruthTable gt = TruthTable::random(8, rng);
+    // Fresh-manager probe: every quotient identity must hold. With the
+    // stale-memo bug this read edges left over from a poisoned manager.
+    const auto probe_fresh_manager = [&] {
+        Manager mgr(8);
+        const Bdd g = mgr.from_truth_table(gt);
+        mgr.visit_nodes(g, [&](NodeIndex v) {
+            const Bdd fv = mgr.node_function(v);
+            const Bdd g1 = mgr.replace_node_with_const(g, v, true);
+            const Bdd g0 = mgr.replace_node_with_const(g, v, false);
+            EXPECT_EQ(mgr.ite(fv, g1, g0), g) << "stale memo from guard unwind";
+        });
+    };
+    // Step the ceiling by 1 so the guard trips at every possible recursion
+    // depth — shallow trips leave no memo entries behind and would not
+    // have exercised the bug.
+    int trips = 0;
+    for (std::size_t ceiling = 24; ceiling <= 2048 && trips < 25; ++ceiling) {
+        ManagerParams params;
+        params.max_live_nodes = ceiling;
+        Manager guarded(8, params);
+        Bdd f;
+        try {
+            f = guarded.from_truth_table(ft);
+        } catch (const ResourceExhausted&) {
+            continue;  // ceiling too small even for construction
+        }
+        std::vector<NodeIndex> nodes;
+        guarded.visit_nodes(f, [&](NodeIndex v) { nodes.push_back(v); });
+        // Keep every quotient alive so the node count grows monotonically:
+        // any ceiling that admits construction eventually trips mid-replace.
+        std::vector<Bdd> held;
+        try {
+            for (const NodeIndex v : nodes) {
+                held.push_back(guarded.replace_node_with_const(f, v, true));
+                held.push_back(guarded.replace_node_with_const(f, v, false));
+            }
+        } catch (const ResourceExhausted&) {
+            ++trips;  // unwound mid-recursion with live memo entries
+            held.clear();
+            probe_fresh_manager();
+        }
+    }
+    ASSERT_GE(trips, 10) << "sweep never tripped the guard inside replace";
+}
+
 TEST(ReplaceNode, XorQuotientIdentityOnXDominator) {
     // F = (x0 & x1) ^ (x2 | x3): the node for (x2|x3) lies on every path,
     // so F_{v->0} ^ Fv == F.

@@ -412,6 +412,85 @@ TEST(ExactPersist, TruncatedWideSectionKeepsNarrowEntries) {
     std::remove(path.c_str());
 }
 
+TEST(ExactPersist, TruncationSweepNeverCrashesOrLies) {
+    // Torn-file drill: every prefix of a valid version-2 file must load
+    // without crashing, and anything it does accept must be semantically
+    // valid (the zero-trust re-validation). ctest runs this test in its
+    // own process, so the singleton starts cold and real inserts happen.
+    ExactSynthesisCache& cache = ExactSynthesisCache::instance();
+    std::string bytes("BMXC");
+    put_u32(bytes, 2);  // version
+    put_u32(bytes, 1);  // narrow count
+    const std::uint16_t narrow_class = append_narrow_literal_entry(bytes);
+    put_u32(bytes, 2);  // wide count
+    const WideStructure five = wide_maj_of_and();
+    const WideStructure six = wide_xor_top();
+    append_wide_structure(bytes, five);
+    append_wide_structure(bytes, six);
+
+    const std::string path = testing::TempDir() + "exact_persist_cut.bin";
+    for (std::size_t n = 0; n <= bytes.size(); ++n) {
+        write_file(path, bytes.substr(0, n));
+        const int loaded = cache.load_from_file(path);
+        EXPECT_GE(loaded, 0) << "cut at " << n;
+        EXPECT_LE(loaded, 3) << "cut at " << n;
+    }
+    // Whatever partial states loaded along the way, anything served must
+    // compute its class.
+    for (const WideStructure& w : {five, six}) {
+        if (const auto s = cache.lookup_wide(w.num_inputs, w.canonical)) {
+            EXPECT_EQ(s->eval_tt(), w.canonical);
+        }
+    }
+    const auto narrow = cache.lookup(narrow_class);
+    ASSERT_NE(narrow, nullptr);
+    EXPECT_EQ(narrow->eval_tt(), narrow_class);
+    std::remove(path.c_str());
+}
+
+TEST(ExactPersist, BitFlipSweepNeverServesWrongProgram) {
+    // Corruption drill: flip every bit of a valid version-2 file, one at a
+    // time, and load each mutant. No mutant may crash the loader, and no
+    // mutant may plant a program that does not compute the class it is
+    // filed under — a wrong cached program would silently corrupt every
+    // later synthesis that hits it, the one unrecoverable failure mode.
+    ExactSynthesisCache& cache = ExactSynthesisCache::instance();
+    std::string bytes("BMXC");
+    put_u32(bytes, 2);
+    put_u32(bytes, 1);
+    const std::uint16_t narrow_class = append_narrow_literal_entry(bytes);
+    put_u32(bytes, 2);
+    const WideStructure five = wide_maj_of_and();
+    const WideStructure six = wide_xor_top();
+    append_wide_structure(bytes, five);
+    append_wide_structure(bytes, six);
+
+    const std::string path = testing::TempDir() + "exact_persist_flip.bin";
+    for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutant = bytes;
+            mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+            write_file(path, mutant);
+            (void)cache.load_from_file(path);
+        }
+    }
+    // A flipped canonical and a flipped program can never agree (the
+    // loader re-evaluates), so every wide class now cached must be honest.
+    for (int n = 5; n <= 6; ++n) {
+        for (const WideStructure& w : {five, six}) {
+            if (const auto s = cache.lookup_wide(n, w.canonical)) {
+                EXPECT_EQ(s->num_inputs, n);
+                EXPECT_EQ(s->eval_tt(), w.canonical);
+            }
+        }
+    }
+    bool was_hit = false;
+    const auto narrow = cache.lookup(narrow_class, &was_hit);
+    ASSERT_NE(narrow, nullptr);
+    EXPECT_EQ(narrow->eval_tt(), narrow_class);
+    std::remove(path.c_str());
+}
+
 TEST(ExactPersist, VersionOneFilesLoadNarrowOnly) {
     // Legacy narrow-only files keep loading, and nothing after the
     // narrow section is ever interpreted as wide data under version 1.

@@ -107,6 +107,129 @@ TEST(Blif, MixedPhaseCoversRejected) {
                  std::runtime_error);
 }
 
+// Malformed-input hardening: every defect is rejected with a ParseError
+// carrying the offending 1-based line, never UB, an assert, or a wrong
+// network.
+
+namespace {
+
+// Expects parse_blif(text) to throw ParseError at `line` with `needle`
+// somewhere in the message.
+void expect_parse_error(const std::string& text, int line,
+                        const std::string& needle) {
+    try {
+        (void)parse_blif(text);
+        FAIL() << "expected ParseError(" << needle << ") for:\n" << text;
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), line) << e.what();
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << e.what();
+    }
+}
+
+}  // namespace
+
+TEST(BlifRobustness, TruncatedContinuationRejected) {
+    expect_parse_error(".model t\n.inputs a b\n.outputs y\n.names a b \\",
+                       4, "truncated");
+}
+
+TEST(BlifRobustness, UndeclaredSignalNamed) {
+    expect_parse_error(
+        ".model u\n.inputs a\n.outputs y\n.names a bogus y\n11 1\n.end\n",
+        4, "undeclared signal 'bogus'");
+}
+
+TEST(BlifRobustness, DuplicateOutputRejected) {
+    expect_parse_error(
+        ".model d\n.inputs a\n.outputs y y\n.names a y\n1 1\n.end\n",
+        3, "duplicate output declaration 'y'");
+}
+
+TEST(BlifRobustness, DuplicateInputRejected) {
+    expect_parse_error(".model d\n.inputs a a\n.outputs y\n.end\n",
+                       2, "duplicate input declaration 'a'");
+}
+
+TEST(BlifRobustness, DuplicateDriverRejected) {
+    expect_parse_error(
+        ".model d\n.inputs a b\n.outputs y\n"
+        ".names a y\n1 1\n.names b y\n1 1\n.end\n",
+        6, "duplicate driver for signal 'y'");
+}
+
+TEST(BlifRobustness, NamesRedefiningInputRejected) {
+    expect_parse_error(
+        ".model d\n.inputs a b\n.outputs b\n.names a b\n1 1\n.end\n",
+        4, "redefines primary input 'b'");
+}
+
+TEST(BlifRobustness, OversizedCubeRejected) {
+    // 3 literals against a 2-input block: previously this flowed into the
+    // SOP layer with a wrong-length pattern; now it is a diagnosed error.
+    expect_parse_error(
+        ".model o\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n",
+        5, "3 literals for a 2-input .names block");
+}
+
+TEST(BlifRobustness, UndersizedCubeRejected) {
+    expect_parse_error(
+        ".model o\n.inputs a b c\n.outputs y\n.names a b c y\n10 1\n.end\n",
+        5, "2 literals for a 3-input .names block");
+}
+
+TEST(BlifRobustness, BadCubeCharacterDiagnosedWithLine) {
+    expect_parse_error(
+        ".model o\n.inputs a b\n.outputs y\n.names a b y\n11 1\n1q 1\n.end\n",
+        6, "bad cube character 'q'");
+}
+
+TEST(BlifRobustness, CombinationalCycleDiagnosed) {
+    expect_parse_error(
+        ".model c\n.inputs a\n.outputs y\n"
+        ".names z a y\n11 1\n.names y a z\n11 1\n.end\n",
+        4, "cycle");
+}
+
+TEST(BlifRobustness, ContinuationLineNumbersPointAtFirstPhysicalLine) {
+    // The bad cube sits on physical lines 5-6 via a continuation; the
+    // diagnostic must name line 5 (where the logical line starts).
+    expect_parse_error(
+        ".model c\n.inputs a b\n.outputs y\n.names a b y\n1 \\\n1 1\n.end\n",
+        5, "bad cube line");
+}
+
+TEST(BlifRobustness, PrefixTruncationsNeverCrash) {
+    // Fuzz-style: every prefix of a valid document either parses or raises
+    // ParseError — nothing else may escape (UB/asserts would abort).
+    const std::string text = kFullAdderBlif;
+    for (std::size_t n = 0; n <= text.size(); ++n) {
+        try {
+            (void)parse_blif(text.substr(0, n));
+        } catch (const ParseError&) {
+        }
+    }
+}
+
+TEST(BlifRobustness, RandomByteMutationsNeverCrash) {
+    // Fuzz-style: single printable-byte corruptions of a valid document
+    // must parse or raise ParseError.
+    const std::string base = kFullAdderBlif;
+    std::mt19937_64 rng(4242);
+    constexpr const char* kAlphabet =
+        "01-\\.# abcdefghijklmnopqrstuvwxyz";
+    const std::size_t alphabet_len = std::string(kAlphabet).size();
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string text = base;
+        text[rng() % text.size()] =
+            kAlphabet[rng() % alphabet_len];
+        try {
+            (void)parse_blif(text);
+        } catch (const ParseError&) {
+        }
+    }
+}
+
 TEST(Blif, RandomNetworksRoundTrip) {
     std::mt19937_64 rng(601);
     for (int trial = 0; trial < 10; ++trial) {

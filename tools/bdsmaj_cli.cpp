@@ -43,6 +43,15 @@
 //                                 alone is not an exact sign-off)
 //   --quiet                       only print the summary line (suppresses
 //                                 the per-strategy engine step counts)
+//   --deadline-ms MS              hard deadline: a single run stops at the
+//                                 next checkpoint (exit status 4); a batch
+//                                 job is shed/stopped and reported, not
+//                                 failed
+//   --soft-budget-ms MS           soft budget: past it, remaining
+//                                 supernodes degrade down the ladder and
+//                                 the run still completes, verified
+//   --degrade-ladder A,B          comma-separated degrade preset ladder
+//                                 (default paper,shannon)
 //
 // Batch service mode (multiple inputs through flows::SynthesisService on
 // the shared process pool):
@@ -64,6 +73,7 @@
 // `bdsmaj_cli @C6288` or `bdsmaj_cli "@Div 18 bit"`, and batch mode mixes
 // them freely with BLIF files: `bdsmaj_cli --batch @C1355 @C6288 my.blif`.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -113,6 +123,10 @@ struct Options {
     int exact_sat_max_steps = -1;
     /// Symmetry-aware sifting tri-state (-1 = preset decides, 0/1 forced).
     int sift_symmetry = -1;
+    /// Deadline / graceful-degradation knobs (<= 0 / empty = off).
+    double deadline_ms = 0.0;
+    double soft_budget_ms = 0.0;
+    std::vector<std::string> degrade_ladder;
     decomp::MajDecompParams maj;
     /// Per-supernode BDD manager tuning (reordering budget). Carried by
     /// the service too, so batch mode supports these flags.
@@ -183,6 +197,25 @@ void print_help(std::FILE* to) {
         "  --oracle auto|bdd|sat|sim    equivalence engine for the sign-off\n"
         "                               (default auto; sim alone is sampled, not\n"
         "                               an exact sign-off)\n"
+        "\n"
+        "deadlines and graceful degradation (BDS flows):\n"
+        "  --deadline-ms MS             hard deadline, measured from the start of\n"
+        "                               the run (batch: from submission, so queue\n"
+        "                               wait counts). A single run stops at the\n"
+        "                               next checkpoint and exits with status 4;\n"
+        "                               a batch job is shed at dispatch or stopped\n"
+        "                               in flight and reports \"deadline exceeded\"\n"
+        "                               (a shed job is not a batch failure)\n"
+        "  --soft-budget-ms MS          soft budget: once it expires, remaining\n"
+        "                               supernodes are decomposed with cheaper\n"
+        "                               settings down the degrade ladder instead\n"
+        "                               of failing - the run completes and the\n"
+        "                               result stays equivalent (the summary\n"
+        "                               counts the degraded supernodes)\n"
+        "  --degrade-ladder A,B         comma-separated preset ladder to fall\n"
+        "                               down when degrading (default\n"
+        "                               paper,shannon; a terminal plain-shannon\n"
+        "                               stage is appended if missing)\n"
         "\n"
         "batch service mode (multiple inputs through the shared process pool):\n"
         "  --batch                      treat every positional arg as an input and\n"
@@ -274,6 +307,13 @@ void print_result(const net::Network& input, const flows::SynthesisResult& resul
                             "bytes=%lld\n",
                             e.cone_cache_hits, e.cone_cache_misses,
                             e.cone_cache_evictions, e.cone_cache_bytes);
+            }
+            // Graceful-degradation accounting: cones cheapened by an
+            // expired soft budget or retried after a resource-guard trip.
+            if (e.degraded_supernodes + e.resource_exhausted_cones > 0) {
+                std::printf("  resilience: degraded-supernodes=%lld "
+                            "guard-trips=%lld\n",
+                            e.degraded_supernodes, e.resource_exhausted_cones);
             }
         }
     }
@@ -387,6 +427,9 @@ int run_batch(const Options& opt) {
     // fails that job's future instead of handing out a wrong network.
     jp.verify = opt.verify;
     jp.oracle = opt.oracle;
+    jp.deadline_ms = opt.deadline_ms;
+    jp.soft_budget_ms = opt.soft_budget_ms;
+    jp.degrade_ladder = opt.degrade_ladder;
 
     std::vector<flows::SynthesisService::Submission> submissions;
     submissions.reserve(inputs.size());
@@ -398,6 +441,20 @@ int run_batch(const Options& opt) {
     for (std::size_t i = 0; i < submissions.size(); ++i) {
         try {
             const flows::FlowResult r = submissions[i].result.get();
+            if (r.status == flows::JobStatus::kDeadlineExceeded) {
+                // Deliberate shedding, not a failure: the batch's exit
+                // status is unaffected (the summary line counts them).
+                std::printf("%s: deadline exceeded%s\n",
+                            inputs[i].model_name().c_str(),
+                            r.start_order == flows::FlowResult::kNoStartOrder
+                                ? " (shed before start)"
+                                : " (stopped in flight)");
+                continue;
+            }
+            if (r.status == flows::JobStatus::kCancelled) {
+                std::printf("%s: cancelled\n", inputs[i].model_name().c_str());
+                continue;
+            }
             // One entry for a named flow, four for --flow all. The job
             // already signed off each result; surface its verdict.
             for (const flows::SynthesisResult& sr : r.results.at(0)) {
@@ -419,6 +476,11 @@ int run_batch(const Options& opt) {
                 "%ld mapped gates, pool=%d threads\n",
                 st.completed, st.failed, st.networks_synthesized, st.mapped_gates,
                 runtime::global_pool_threads());
+    if (st.deadline_exceeded + st.degraded_supernodes > 0) {
+        std::printf("resilience: %d deadline-exceeded, %lld degraded "
+                    "supernodes\n",
+                    st.deadline_exceeded, st.degraded_supernodes);
+    }
     print_cache_summary();
     return all_ok ? 0 : 1;
 }
@@ -521,6 +583,28 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             opt.exact_sat_max_steps = std::atoi(v);
+        } else if (arg == "--deadline-ms") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.deadline_ms = std::atof(v);
+        } else if (arg == "--soft-budget-ms") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.soft_budget_ms = std::atof(v);
+        } else if (arg == "--degrade-ladder") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            opt.degrade_ladder.clear();
+            std::string rung;
+            for (const char* p = v;; ++p) {
+                if (*p == ',' || *p == '\0') {
+                    if (!rung.empty()) opt.degrade_ladder.push_back(rung);
+                    rung.clear();
+                    if (*p == '\0') break;
+                } else {
+                    rung.push_back(*p);
+                }
+            }
         } else if (arg == "--batch") {
             opt.batch = true;
         } else if (arg == "--quick") {
@@ -554,6 +638,21 @@ int main(int argc, char** argv) {
     if (opt.preset != "paper" && (opt.flow == "abc" || opt.flow == "dc")) {
         std::fprintf(stderr, "--preset only applies to the BDS flows "
                              "(bdsmaj/bdspga/all)\n");
+        return 2;
+    }
+    for (const std::string& rung : opt.degrade_ladder) {
+        if (!decomp::is_known_preset(rung)) {
+            std::fprintf(stderr, "unknown preset \"%s\" in --degrade-ladder; "
+                                 "--list-presets shows the catalog\n",
+                         rung.c_str());
+            return 2;
+        }
+    }
+    if ((opt.deadline_ms > 0 || opt.soft_budget_ms > 0 ||
+         !opt.degrade_ladder.empty()) &&
+        (opt.flow == "abc" || opt.flow == "dc")) {
+        std::fprintf(stderr, "--deadline-ms/--soft-budget-ms/--degrade-ladder "
+                             "only apply to the BDS flows (bdsmaj/bdspga/all)\n");
         return 2;
     }
     if (opt.cone_cache_mb >= 0) {
@@ -600,7 +699,27 @@ int main(int argc, char** argv) {
         params.reorder = opt.reorder;
         params.cone_cache = opt.cone_cache;
         params.jobs = opt.jobs;
-        decomp::DecompFlowResult d = decomp::decompose_network(input, params);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (opt.deadline_ms > 0) {
+            params.deadline = t0 + std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(opt.deadline_ms));
+        }
+        if (opt.soft_budget_ms > 0) {
+            params.soft_budget = t0 + std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(opt.soft_budget_ms));
+        }
+        params.degrade_ladder = opt.degrade_ladder;
+        decomp::DecompFlowResult d;
+        try {
+            d = decomp::decompose_network(input, params);
+        } catch (const decomp::DeadlineExceeded&) {
+            std::fprintf(stderr, "%s: deadline exceeded (--deadline-ms %g); "
+                                 "no result produced\n",
+                         input.model_name().c_str(), opt.deadline_ms);
+            return 4;
+        }
         result.flow_name = flows::decorated_flow_name(
             opt.flow == "bdsmaj" ? "BDS-MAJ" : "BDS-PGA", opt.preset);
         result.engine_stats = d.engine_stats;

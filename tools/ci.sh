@@ -19,8 +19,19 @@
 # must byte-match what tools/gen_cli_docs.sh regenerates from the fresh
 # binary, and every advertised preset must appear in README.md.
 #
+# The chaos stage rebuilds the core with the deterministic fault-injection
+# hooks compiled in (-DBDSMAJ_FAULT_INJECT=ON) under AddressSanitizer and
+# runs the `chaos` ctest label: injected faults at the worker/cache/SAT/
+# allocator sites must surface as clean job failures — never memory errors,
+# stranded futures, or corrupted caches. The resilience bench section is
+# gated on exact invariants: deadline shedding sheds every expired job,
+# budget-degraded jobs still complete verified, resource-guard trips stay
+# contained per cone, and arming the degradation machinery without
+# triggering it changes no output byte.
+#
 #   tools/ci.sh                        # full gate
-#   BDSMAJ_CI_SKIP_BENCH=1 ...         # tier-1 only
+#   BDSMAJ_CI_SKIP_BENCH=1 ...         # skip the bench gate
+#   BDSMAJ_CI_SKIP_CHAOS=1 ...         # skip the fault-injection stage
 #   BDSMAJ_CI_TOLERANCE=35 ...         # widen the regression tolerance (%)
 #   BDSMAJ_CI_BENCH_MODE=fingerprint   # skip wall-time/rate comparisons,
 #                                      # enforce only output fingerprints —
@@ -72,6 +83,23 @@ echo "==> docs: README preset coverage check"
         exit 1
     fi
 done
+
+if [[ "${BDSMAJ_CI_SKIP_CHAOS:-0}" != "0" ]]; then
+    echo "==> chaos stage skipped (BDSMAJ_CI_SKIP_CHAOS)"
+else
+    echo "==> chaos: fault-injection suite (BDSMAJ_FAULT_INJECT + ASan)"
+    # Separate build tree: the fault hooks are compiled into the core
+    # library, and the deterministic tier-1 binaries must never carry
+    # them. Only the chaos binary is built; `ctest -L chaos` selects its
+    # tests (they GTEST_SKIP themselves if the hooks are absent, so a
+    # passing run here proves the hooks actually fired).
+    cmake -B build-chaos -S . -DCMAKE_BUILD_TYPE=Release \
+          -DBDSMAJ_FAULT_INJECT=ON -DBDSMAJ_SANITIZE=address \
+          -DBDSMAJ_BUILD_BENCH=OFF -DBDSMAJ_BUILD_EXAMPLES=OFF \
+          ${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"} >/dev/null
+    cmake --build build-chaos -j"$JOBS" --target bdsmaj_chaos_tests
+    (cd build-chaos && ctest -L chaos --output-on-failure -j"$JOBS")
+fi
 
 if [[ "${BDSMAJ_CI_SKIP_BENCH:-0}" != "0" ]]; then
     echo "==> bench gate skipped (BDSMAJ_CI_SKIP_BENCH)"
@@ -260,6 +288,39 @@ else:
         for c in cone["circuits"]:
             check_time(f"cone_cache.{c['name']}.cold_vs_off",
                        c["off_seconds"], c["cold_seconds"])
+
+# Resilience: every invariant is exact (no timing), so the fresh section
+# gates directly without a committed reference. Shedding must be precise
+# — every expired job shed, none run; budget-degraded jobs must complete
+# AND verify (degradation trades quality, never correctness); the
+# resource guard must trip per cone and still yield an equivalent
+# network; and arming the degradation machinery without triggering it
+# must leave the output byte-identical to a default run.
+res = fresh.get("resilience")
+if res is None:
+    failures.append("resilience: section missing from fresh bench run")
+else:
+    if res["shed"]["deadline_exceeded"] != res["shed"]["jobs"]:
+        failures.append("resilience: expired-deadline shedding not exact "
+                        f"({res['shed']['deadline_exceeded']}/"
+                        f"{res['shed']['jobs']} jobs shed)")
+    deg = res["degraded"]
+    if deg["completed"] != deg["jobs"] or deg["verified"] != deg["jobs"]:
+        failures.append("resilience: budget-degraded jobs did not all "
+                        f"complete verified ({deg['completed']} completed, "
+                        f"{deg['verified']} verified of {deg['jobs']})")
+    if deg["degraded_supernodes"] <= 0:
+        failures.append("resilience: expired soft budget degraded no "
+                        "supernodes — the ladder never engaged")
+    if res["guard"]["resource_exhausted_cones"] <= 0:
+        failures.append("resilience: the max_live_nodes ceiling never "
+                        "tripped — the resource guard is dead")
+    if not res["guard"]["equivalent"]:
+        failures.append("resilience: guard-degraded network lost "
+                        "equivalence")
+    if not res["armed_but_idle_identical"]:
+        failures.append("resilience: armed-but-untriggered degradation "
+                        "changed the output bytes")
 
 if fresh["table2_synthesis"]["verified"] != fresh["table2_synthesis"]["circuits"]:
     failures.append("table2_synthesis: equivalence verification failed")
